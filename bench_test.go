@@ -1,0 +1,125 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark runs the corresponding experiment and
+// reports the headline metric (hit rate or speedup) as custom benchmark
+// metrics, so `go test -bench=. -benchmem` regenerates the paper's numbers
+// in one pass.
+//
+// Benchmarks share one lazily-built environment at a reduced dataset scale
+// (BenchScale) so the full suite finishes in minutes; run
+// `go run ./cmd/scoutbench -exp all` for full-scale tables.
+package main
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"scout/internal/experiments"
+)
+
+// BenchScale is the dataset scale used by the benchmark suite: 20% of the
+// DESIGN.md full scale (neuro ≈ 200k objects).
+const BenchScale = 0.2
+
+// BenchSequences caps sequences per measurement to keep bench time sane.
+const BenchSequences = 6
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+func sharedEnv() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Options{
+			Scale:     BenchScale,
+			Sequences: BenchSequences,
+			Seed:      7,
+		})
+	})
+	return benchEnv
+}
+
+// reportTable converts an experiment's table into benchmark metrics: the
+// first numeric cell of every row, keyed by row label and column header.
+func reportTable(b *testing.B, res experiments.Result) {
+	b.Helper()
+	for _, row := range res.Rows {
+		if len(row) < 2 {
+			continue
+		}
+		label := sanitizeMetric(row[0])
+		for c := 1; c < len(row) && c < len(res.Header); c++ {
+			v, ok := parseMetric(row[c])
+			if !ok {
+				continue
+			}
+			unit := label + "/" + sanitizeMetric(res.Header[c])
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func sanitizeMetric(s string) string {
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	return strings.Trim(s, "_")
+}
+
+// parseMetric extracts the numeric value from formatted cells such as
+// "83.1%" or "4.25x".
+func parseMetric(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(s), "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// benchExperiment runs one registered experiment once per benchmark
+// iteration and reports its table as metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := sharedEnv()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Run(env)
+	}
+	reportTable(b, last)
+}
+
+func BenchmarkFig03(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+func BenchmarkFig13c(b *testing.B) { benchExperiment(b, "fig13c") }
+func BenchmarkFig13d(b *testing.B) { benchExperiment(b, "fig13d") }
+func BenchmarkFig13e(b *testing.B) { benchExperiment(b, "fig13e") }
+func BenchmarkFig13f(b *testing.B) { benchExperiment(b, "fig13f") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17a(b *testing.B) { benchExperiment(b, "fig17a") }
+func BenchmarkFig17b(b *testing.B) { benchExperiment(b, "fig17b") }
+func BenchmarkMem82(b *testing.B)  { benchExperiment(b, "mem82") }
+
+func BenchmarkAblationStrategy(b *testing.B)    { benchExperiment(b, "ablation_strategy") }
+func BenchmarkAblationPruning(b *testing.B)     { benchExperiment(b, "ablation_pruning") }
+func BenchmarkAblationKMeans(b *testing.B)      { benchExperiment(b, "ablation_kmeans") }
+func BenchmarkAblationIncremental(b *testing.B) { benchExperiment(b, "ablation_incremental") }

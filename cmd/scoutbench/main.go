@@ -1,0 +1,69 @@
+// Command scoutbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows or series the paper reports; DESIGN.md §4
+// maps experiment IDs to figures and EXPERIMENTS.md records paper-vs-
+// measured values.
+//
+// Usage:
+//
+//	scoutbench -list
+//	scoutbench -exp fig11a            # one experiment at full scale
+//	scoutbench -exp all -scale 0.25   # everything, quarter-scale datasets
+//	scoutbench -exp fig13d -seqs 10   # fewer sequences for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"scout/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md scale)")
+		seqs    = flag.Int("seqs", 0, "override sequences per measurement (0 = paper count)")
+		seed    = flag.Int64("seed", 7, "workload random seed")
+		verbose = flag.Bool("v", false, "print progress while running")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %-14s %s\n", e.ID, e.Figure, e.Desc)
+		}
+		return
+	}
+
+	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed}
+	if *verbose {
+		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
+	}
+	env := experiments.NewEnv(opt)
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		res := e.Run(env)
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

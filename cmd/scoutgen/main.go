@@ -1,0 +1,100 @@
+// Command scoutgen generates the synthetic datasets and prints their
+// statistics: object counts, world volume, structure lengths, and index
+// layout. Useful for inspecting the substitution datasets documented in
+// DESIGN.md §2.
+//
+// Usage:
+//
+//	scoutgen -dataset neuro -objects 1000000
+//	scoutgen -dataset all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scout/internal/dataset"
+	"scout/internal/experiments"
+)
+
+func main() {
+	var (
+		which   = flag.String("dataset", "all", "neuro | artery | lung | road | all")
+		objects = flag.Int("objects", 0, "override object count (0 = default)")
+		seed    = flag.Int64("seed", 0, "override generation seed (0 = default)")
+	)
+	flag.Parse()
+
+	gens := map[string]func() *dataset.Dataset{
+		"neuro": func() *dataset.Dataset {
+			cfg := dataset.DefaultNeuroConfig()
+			if *objects > 0 {
+				cfg.NumObjects = *objects
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			return dataset.GenerateNeuro(cfg)
+		},
+		"artery": func() *dataset.Dataset {
+			cfg := dataset.DefaultArteryConfig()
+			if *objects > 0 {
+				cfg.NumObjects = *objects
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			return dataset.GenerateArtery(cfg)
+		},
+		"lung": func() *dataset.Dataset {
+			cfg := dataset.DefaultLungConfig()
+			if *objects > 0 {
+				cfg.NumObjects = *objects
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			return dataset.GenerateLung(cfg)
+		},
+		"road": func() *dataset.Dataset {
+			cfg := dataset.DefaultRoadConfig()
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			return dataset.GenerateRoad(cfg)
+		},
+	}
+
+	names := []string{"neuro", "artery", "lung", "road"}
+	if *which != "all" {
+		if _, ok := gens[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown dataset %q (neuro|artery|lung|road|all)\n", *which)
+			os.Exit(2)
+		}
+		names = []string{*which}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		ds := gens[name]()
+		genTime := time.Since(start)
+
+		start = time.Now()
+		setup, err := experiments.BuildSetup(ds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		indexTime := time.Since(start)
+
+		fmt.Println(ds.Stats())
+		fmt.Printf("  generated in %s, indexed in %s\n",
+			genTime.Round(time.Millisecond), indexTime.Round(time.Millisecond))
+		fmt.Printf("  pages: %d (%d objects/page, %.1f MB modeled on disk)\n",
+			setup.Store.NumPages(), setup.Store.ObjectsPerPage(),
+			float64(setup.Store.TotalBytes())/(1<<20))
+		fmt.Printf("  R-tree height: %d\n\n", setup.Tree.Height())
+	}
+}

@@ -1,0 +1,98 @@
+// Command scouttrace replays one guided spatial query sequence with a
+// chosen prefetcher and prints a per-query trace: pages needed, cache hits,
+// residual I/O, window utilization and SCOUT's internals. It is the
+// debugging lens for prefetcher behaviour.
+//
+// Usage:
+//
+//	scouttrace -prefetcher scout -queries 25 -volume 80000
+//	scouttrace -prefetcher ewma -gap 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/dataset"
+	"scout/internal/engine"
+	"scout/internal/experiments"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+func main() {
+	var (
+		pfName  = flag.String("prefetcher", "scout", "none | straightline | ewma | hilbert | scout | scoutopt")
+		queries = flag.Int("queries", 25, "sequence length")
+		volume  = flag.Float64("volume", 80_000, "query volume in µm³")
+		gap     = flag.Float64("gap", 0, "gap distance in µm")
+		ratio   = flag.Float64("ratio", 1, "prefetch window ratio r = u/d")
+		objects = flag.Int("objects", 200_000, "neuro dataset object count")
+		seed    = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultNeuroConfig()
+	cfg.NumObjects = *objects
+	ds := dataset.GenerateNeuro(cfg)
+	setup, err := experiments.BuildSetup(ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(ds.Stats())
+
+	p := workload.Params{Queries: *queries, Volume: *volume, Gap: *gap, WindowRatio: *ratio}
+	seqs, err := workload.GenerateMany(ds, p, 1, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	seq := seqs[0]
+
+	var pf prefetch.Prefetcher
+	var stats *core.Scout
+	switch *pfName {
+	case "none":
+		pf = prefetch.None{}
+	case "straightline":
+		pf = prefetch.NewStraightLine(*volume)
+	case "ewma":
+		pf = prefetch.NewEWMA(0.3, *volume)
+	case "hilbert":
+		pf = prefetch.NewHilbert(ds.World, *volume, 4)
+	case "scout":
+		s := core.New(setup.Store, ds.Adjacency, core.DefaultConfig())
+		pf, stats = s, s
+	case "scoutopt":
+		s := core.NewOpt(setup.Flat, ds.Adjacency, core.DefaultConfig())
+		pf, stats = s, &s.Scout
+	default:
+		fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pfName)
+		os.Exit(2)
+	}
+
+	// Wrap the engine loop manually so SCOUT internals can be printed after
+	// each query.
+	e := engine.New(setup.Store, setup.Tree, engine.DefaultConfig())
+	fmt.Printf("replaying %d queries on structure %d with %s (r=%.1f, gap=%.0f)\n\n",
+		len(seq.Queries), seq.StructID, pf.Name(), *ratio, *gap)
+
+	res := e.RunSequence(seq, pf)
+	for _, q := range res.Queries {
+		fmt.Printf("q%-3d pages=%-4d hits=%-4d residual=%-10v window=%-10v prefetched=%-4d",
+			q.Seq, q.ResultPages, q.HitPages,
+			q.Residual.Round(time.Microsecond), q.Window.Round(time.Microsecond), q.Prefetched)
+		if stats != nil && q.Seq == len(res.Queries)-1 {
+			st := stats.LastStats()
+			fmt.Printf(" | graph: %dv/%de cand=%d exits=%d",
+				st.Vertices, st.Edges, st.Candidates, st.Exits)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nsequence hit rate: %s   speedup vs no prefetching: %.2fx\n",
+		fmt.Sprintf("%.1f%%", 100*res.HitRate()), res.Speedup())
+}

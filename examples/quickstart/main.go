@@ -1,0 +1,62 @@
+// Quickstart: generate a small brain-tissue dataset, index it, walk a
+// guided spatial query sequence with SCOUT prefetching, and compare against
+// running the same sequence with no prefetching at all.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scout/internal/core"
+	"scout/internal/dataset"
+	"scout/internal/engine"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/rtree"
+	"scout/internal/workload"
+)
+
+func main() {
+	// 1. Generate a synthetic neuroscience dataset: somas with bifurcating
+	// branches of small cylinders (a scaled-down stand-in for the paper's
+	// 450M-cylinder Blue Brain model).
+	cfg := dataset.SmallNeuroConfig()
+	ds := dataset.GenerateNeuro(cfg)
+	fmt.Println(ds.Stats())
+
+	// 2. Store the objects in 4 KB pages and bulk-load an STR R-tree; the
+	// STR order doubles as the physical page layout.
+	store := pagestore.NewStore(ds.Objects)
+	tree, err := rtree.BulkLoad(store, rtree.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed: %d pages, R-tree height %d\n\n", store.NumPages(), tree.Height())
+
+	// 3. Build a guided spatial query sequence: 25 adjacent 80,000 µm³ range
+	// queries following one neuron branch, with a prefetch window ratio of
+	// 1 (analysis takes as long as a cold read).
+	params := workload.Params{Queries: 25, Volume: 80_000, WindowRatio: 1}
+	seqs, err := workload.GenerateMany(ds, params, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := seqs[0]
+	fmt.Printf("walking structure %d with %d queries of %.0fk µm³\n\n",
+		seq.StructID, len(seq.Queries), params.Volume/1000)
+
+	// 4. Execute the sequence twice on the virtual-clock engine: once
+	// without prefetching, once with SCOUT.
+	eng := engine.New(store, tree, engine.DefaultConfig())
+
+	baseline := eng.RunSequence(seq, prefetch.None{})
+	scout := eng.RunSequence(seq, core.New(store, ds.Adjacency, core.DefaultConfig()))
+
+	fmt.Printf("%-16s %-10s %-12s %s\n", "prefetcher", "hit rate", "residual I/O", "speedup")
+	fmt.Printf("%-16s %-10s %-12s %.2fx\n", "none",
+		fmt.Sprintf("%.1f%%", 100*baseline.HitRate()), baseline.Residual.Round(1000), baseline.Speedup())
+	fmt.Printf("%-16s %-10s %-12s %.2fx\n", "SCOUT",
+		fmt.Sprintf("%.1f%%", 100*scout.HitRate()), scout.Residual.Round(1000), scout.Speedup())
+}

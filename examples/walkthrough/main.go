@@ -1,0 +1,72 @@
+// Walkthrough visualization: the paper's frustum-culling use case (§3.1,
+// §7.2.3), including the gapped variant used to create the illusion of
+// high-speed movement. A camera flies along a neuron branch; every frame is
+// a view-frustum query; SCOUT (and SCOUT-OPT when the flight has gaps)
+// prefetches the next frame's data while the renderer draws the current one.
+//
+//	go run ./examples/walkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scout/internal/core"
+	"scout/internal/dataset"
+	"scout/internal/engine"
+	"scout/internal/flatindex"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/rtree"
+	"scout/internal/workload"
+)
+
+func main() {
+	ds := dataset.GenerateNeuro(dataset.SmallNeuroConfig())
+	store := pagestore.NewStore(ds.Objects)
+	idxCfg := rtree.Config{}
+	tree, err := rtree.BulkLoad(store, idxCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat, err := flatindex.Build(store, idxCfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ds.Stats())
+
+	eng := engine.New(store, tree, engine.DefaultConfig())
+
+	// Smooth flight: 65 frustum queries of 30,000 µm³, ray-tracing quality
+	// (r = 1.6) — the paper's "Visualization (High Quality)" benchmark.
+	smooth := workload.Params{
+		Queries: 65, Volume: 30_000,
+		Shape: workload.FrustumShape, WindowRatio: 1.6,
+	}
+	// Fast flight: same, but frames rendered 25 µm apart (gaps).
+	fast := smooth
+	fast.Gap = 25
+	fast.WindowRatio = 1.2
+
+	fmt.Println("\nsmooth walkthrough (adjacent frusta):")
+	compare(eng, ds, store, flat, smooth)
+
+	fmt.Println("\nfast walkthrough (25 µm gaps between frames):")
+	compare(eng, ds, store, flat, fast)
+}
+
+func compare(eng *engine.Engine, ds *dataset.Dataset, store *pagestore.Store, flat *flatindex.Index, params workload.Params) {
+	seqs, err := workload.GenerateMany(ds, params, 3, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pf := range []prefetch.Prefetcher{
+		prefetch.NewStraightLine(params.Volume),
+		core.New(store, ds.Adjacency, core.DefaultConfig()),
+		core.NewOpt(flat, ds.Adjacency, core.DefaultConfig()),
+	} {
+		agg := eng.RunAll(seqs, pf)
+		fmt.Printf("  %-14s hit rate %5.1f%%   speedup %.2fx\n",
+			pf.Name(), 100*agg.HitRate(), agg.Speedup())
+	}
+}

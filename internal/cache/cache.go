@@ -1,0 +1,169 @@
+// Package cache implements the prefetch cache: a page-granular,
+// capacity-bounded cache with LRU eviction and hit/miss accounting.
+//
+// The paper allows "4GB of memory to cache prefetched data" (§7.1) and
+// measures prediction accuracy as the cache hit rate, "the percentage of
+// data read from the prefetch cache rather than from disk" (§3.3). Pages are
+// fixed-size, so page-granular hit accounting equals byte-granular
+// accounting.
+package cache
+
+import "scout/internal/pagestore"
+
+// Stats aggregates cache activity. Hits and Misses are counted by Lookup
+// (i.e., by user queries), not by prefetch insertions.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Inserted  int64
+	Evictions int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is a node of the intrusive LRU list.
+type entry struct {
+	page       pagestore.PageID
+	prev, next *entry
+}
+
+// Cache is a fixed-capacity page cache with LRU eviction. It stores only
+// page identities: the simulation never materializes page bytes, so "holding
+// a page" means remembering that its content would be in memory. Cache is
+// not safe for concurrent use.
+type Cache struct {
+	capacity int
+	entries  map[pagestore.PageID]*entry
+	// head is most recently used, tail least recently used.
+	head, tail *entry
+	stats      Stats
+}
+
+// New creates a cache holding at most capacity pages. Capacity 0 yields a
+// cache that holds nothing (useful as the no-prefetch baseline).
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[pagestore.PageID]*entry, capacity),
+	}
+}
+
+// Capacity returns the maximum number of pages the cache can hold.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of pages currently cached.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Full reports whether the cache is at capacity.
+func (c *Cache) Full() bool { return len(c.entries) >= c.capacity }
+
+// Contains reports whether the page is cached, without recording a hit or
+// a miss and without touching recency. Prefetchers use it to avoid
+// re-requesting pages.
+func (c *Cache) Contains(p pagestore.PageID) bool {
+	_, ok := c.entries[p]
+	return ok
+}
+
+// Lookup records a user access to page p: a hit refreshes the page's
+// recency and returns true; a miss returns false. Misses do NOT insert the
+// page — residual I/O goes straight to the user in this model, mirroring
+// the paper's cache-of-prefetched-data design.
+func (c *Cache) Lookup(p pagestore.PageID) bool {
+	e, ok := c.entries[p]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.moveToFront(e)
+	return true
+}
+
+// Insert adds page p to the cache (refreshing recency if already present),
+// evicting the least recently used page when at capacity. It reports whether
+// the page is cached afterwards (false only for capacity 0).
+func (c *Cache) Insert(p pagestore.PageID) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	if e, ok := c.entries[p]; ok {
+		c.moveToFront(e)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		c.evictTail()
+	}
+	e := &entry{page: p}
+	c.entries[p] = e
+	c.pushFront(e)
+	c.stats.Inserted++
+	return true
+}
+
+// Clear drops every cached page, keeping statistics. The engine calls this
+// between query sequences (§7.1).
+func (c *Cache) Clear() {
+	c.entries = make(map[pagestore.PageID]*entry, c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching cached pages.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) evictTail() {
+	if c.tail == nil {
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.entries, victim.page)
+	c.stats.Evictions++
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/pagestore"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := New(4)
+	if c.Lookup(1) {
+		t.Error("hit on empty cache")
+	}
+	c.Insert(1)
+	if !c.Lookup(1) {
+		t.Error("miss after insert")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	// Touch 1 so 2 becomes LRU.
+	if !c.Lookup(1) {
+		t.Fatal("1 missing")
+	}
+	c.Insert(4) // evicts 2
+	if c.Contains(2) {
+		t.Error("2 not evicted")
+	}
+	for _, p := range []pagestore.PageID{1, 3, 4} {
+		if !c.Contains(p) {
+			t.Errorf("%d missing", p)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestCacheInsertRefreshesRecency(t *testing.T) {
+	c := New(2)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(1) // refresh, not duplicate
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Insert(3) // evicts 2 (LRU), not 1
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Error("refresh on insert did not update recency")
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := New(0)
+	if c.Insert(1) {
+		t.Error("insert succeeded at capacity 0")
+	}
+	if c.Lookup(1) {
+		t.Error("hit at capacity 0")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative capacity did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestCacheClearKeepsStats(t *testing.T) {
+	c := New(4)
+	c.Insert(1)
+	c.Lookup(1)
+	c.Lookup(99)
+	c.Clear()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Error("Clear left pages behind")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("Clear dropped stats: %+v", st)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero stats")
+	}
+	// Cache still works after Clear.
+	c.Insert(5)
+	if !c.Lookup(5) {
+		t.Error("cache broken after Clear")
+	}
+}
+
+func TestCacheContainsDoesNotCount(t *testing.T) {
+	c := New(4)
+	c.Insert(1)
+	c.Contains(1)
+	c.Contains(2)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Contains counted: %+v", st)
+	}
+}
+
+func TestCacheFull(t *testing.T) {
+	c := New(2)
+	if c.Full() {
+		t.Error("empty cache full")
+	}
+	c.Insert(1)
+	c.Insert(2)
+	if !c.Full() {
+		t.Error("cache at capacity not full")
+	}
+}
+
+// Never exceeds capacity and LRU order is consistent under random workloads.
+func TestCacheRandomizedInvariants(t *testing.T) {
+	const capacity = 16
+	c := New(capacity)
+	rng := rand.New(rand.NewSource(77))
+	// Shadow model: map + access counter for LRU order.
+	shadow := map[pagestore.PageID]int{}
+	clock := 0
+	for op := 0; op < 20000; op++ {
+		p := pagestore.PageID(rng.Intn(64))
+		clock++
+		switch rng.Intn(3) {
+		case 0: // insert
+			c.Insert(p)
+			if _, ok := shadow[p]; !ok && len(shadow) == capacity {
+				// Evict shadow LRU.
+				var victim pagestore.PageID
+				oldest := clock + 1
+				for q, tm := range shadow {
+					if tm < oldest {
+						oldest = tm
+						victim = q
+					}
+				}
+				delete(shadow, victim)
+			}
+			shadow[p] = clock
+		case 1: // lookup
+			hit := c.Lookup(p)
+			_, want := shadow[p]
+			if hit != want {
+				t.Fatalf("op %d: Lookup(%d) = %v, shadow says %v", op, p, hit, want)
+			}
+			if hit {
+				shadow[p] = clock
+			}
+		case 2: // contains must agree with shadow
+			if got, want := c.Contains(p), shadow[p] != 0; got != want {
+				t.Fatalf("op %d: Contains(%d) = %v, shadow %v", op, p, got, want)
+			}
+		}
+		if c.Len() > capacity {
+			t.Fatalf("op %d: cache over capacity: %d", op, c.Len())
+		}
+		if c.Len() != len(shadow) {
+			t.Fatalf("op %d: size mismatch cache=%d shadow=%d", op, c.Len(), len(shadow))
+		}
+	}
+}
+
+func TestStatsHitRateEmpty(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate != 0")
+	}
+}

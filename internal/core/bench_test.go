@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"scout/internal/dataset"
+	"scout/internal/flatindex"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/rtree"
+	"scout/internal/workload"
+)
+
+// benchSetup builds a small neuro world and one sequence of observations.
+func benchSetup(b *testing.B) (*pagestore.Store, *flatindex.Index, []prefetch.Observation) {
+	b.Helper()
+	ds := dataset.GenerateNeuro(dataset.NeuroConfig{NumObjects: 60_000, Seed: 1})
+	store := pagestore.NewStore(ds.Objects)
+	cfg := rtree.Config{}
+	tree, err := rtree.BulkLoad(store, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat, err := flatindex.Build(store, cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs, err := workload.GenerateMany(ds, workload.Params{
+		Queries: 25, Volume: 80_000, WindowRatio: 1,
+	}, 1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs []prefetch.Observation
+	for qi, q := range seqs[0].Queries {
+		obs = append(obs, prefetch.Observation{
+			Seq:    qi,
+			Region: q.Region,
+			Center: q.Center,
+			Result: tree.QueryObjects(q.Region, nil),
+			Pages:  tree.QueryPages(q.Region, nil),
+		})
+	}
+	return store, flat, obs
+}
+
+// BenchmarkScoutObserve measures one full SCOUT step: graph build, pruning,
+// prediction and plan construction, amortized over a 25-query sequence.
+func BenchmarkScoutObserve(b *testing.B) {
+	store, _, obs := benchSetup(b)
+	s := New(store, nil, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, o := range obs {
+			s.Observe(o)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obs)), "ns/query")
+}
+
+// BenchmarkScoutOptObserve measures SCOUT-OPT's step including sparse graph
+// construction.
+func BenchmarkScoutOptObserve(b *testing.B) {
+	_, flat, obs := benchSetup(b)
+	s := NewOpt(flat, nil, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, o := range obs {
+			s.Observe(o)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obs)), "ns/query")
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/sgraph"
+)
+
+// QueryStats reports the per-query internals the paper's analysis section
+// measures: graph size and memory (§8.2), modeled build and prediction cost
+// (§8.1, §8.3), and candidate-set size (§4.3).
+type QueryStats struct {
+	ResultObjects int
+	Vertices      int
+	Edges         int
+	MemoryBytes   int64
+	GraphBuild    time.Duration
+	Prediction    time.Duration
+	Candidates    int
+	Exits         int
+	// SparsePages is the number of pages used for sparse graph construction
+	// (SCOUT-OPT only; 0 means a full build).
+	SparsePages int
+	// GapPages is the number of pages read by gap traversal (SCOUT-OPT).
+	GapPages int
+}
+
+// Scout is the paper's base prefetcher: structure-aware prediction over any
+// spatial index.
+type Scout struct {
+	store *pagestore.Store
+	// adjacency is the dataset's explicit graph (mesh face adjacency), or
+	// nil to use grid hashing (§4.2).
+	adjacency [][]pagestore.ObjectID
+	cfg       Config
+	rng       *rand.Rand
+
+	// prevExits holds the exit boundaries of the current candidate set,
+	// i.e. where the structures the user may be following left the last
+	// query. Candidate pruning matches the next query's entries against
+	// these points (§4.3).
+	prevExits []sgraph.Boundary
+	centers   []geom.Vec3
+	plan      prefetch.Plan
+	stats     QueryStats
+}
+
+// New creates a SCOUT prefetcher over the given store. adjacency may be nil
+// (grid hashing) or the dataset's explicit object graph.
+func New(store *pagestore.Store, adjacency [][]pagestore.ObjectID, cfg Config) *Scout {
+	cfg = cfg.withDefaults()
+	return &Scout{
+		store:     store,
+		adjacency: adjacency,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (s *Scout) Name() string { return "SCOUT" }
+
+// Reset implements prefetch.Prefetcher.
+func (s *Scout) Reset() {
+	s.prevExits = nil
+	s.centers = s.centers[:0]
+	s.plan = prefetch.Plan{}
+	s.stats = QueryStats{}
+}
+
+// LastStats returns the internals of the most recent observation.
+func (s *Scout) LastStats() QueryStats { return s.stats }
+
+// Plan implements prefetch.Prefetcher.
+func (s *Scout) Plan() prefetch.Plan { return s.plan }
+
+// Observe implements prefetch.Prefetcher: it builds the query's graph,
+// prunes candidates, predicts the next query locations and prepares the
+// prefetch plan.
+func (s *Scout) Observe(obs prefetch.Observation) {
+	bounds := obs.Region.Bounds()
+	side := sideOf(bounds)
+	s.centers = append(s.centers, obs.Center)
+	estStep, estGap := s.estimateStep(side)
+
+	g := s.buildGraph(obs, bounds)
+	buildCost := graphBuildCost(s.cfg.Cost, g)
+
+	exits, candidates, predCost := s.predict(g, obs.Region, side, estGap)
+	s.prevExits = exits
+
+	s.stats = QueryStats{
+		ResultObjects: len(obs.Result),
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		MemoryBytes:   g.MemoryBytes(),
+		GraphBuild:    buildCost,
+		Prediction:    predCost,
+		Candidates:    candidates,
+		Exits:         len(exits),
+	}
+	s.plan = prefetch.Plan{
+		// The ladder is sized to the next query's page FOOTPRINT — for
+		// boxes that is the query volume, for frusta the (larger) bounding
+		// box that determines which pages the query touches.
+		Requests:   s.requestsFor(exits, bounds.Volume(), side, estStep, estGap),
+		GraphBuild: buildCost,
+		Prediction: predCost,
+	}
+}
+
+// estimateStep derives the expected distance between consecutive query
+// centers and the implied gap between their regions. The paper uses "the
+// distance between the last two queries as a prediction for the next gap"
+// (§5.3).
+func (s *Scout) estimateStep(side float64) (step, gap float64) {
+	n := len(s.centers)
+	if n < 2 {
+		return side * 0.9, 0
+	}
+	step = s.centers[n-1].Dist(s.centers[n-2])
+	gap = step - side
+	if gap < 0 {
+		gap = 0
+	}
+	return step, gap
+}
+
+// buildGraph constructs the approximate graph of the query result: via the
+// explicit dataset adjacency when available, else via grid hashing.
+func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) *sgraph.Graph {
+	if s.adjacency != nil {
+		g := sgraph.New(s.store, bounds, 0)
+		inResult := make(map[pagestore.ObjectID]bool, len(obs.Result))
+		for _, id := range obs.Result {
+			inResult[id] = true
+		}
+		for _, id := range obs.Result {
+			g.AddObject(id)
+			for _, nb := range s.adjacency[id] {
+				if inResult[nb] {
+					g.ConnectExplicit(id, nb)
+				}
+			}
+		}
+		return g
+	}
+	return sgraph.Build(s.store, bounds, s.cfg.Resolution, obs.Result)
+}
+
+// predict performs candidate pruning and the prediction traversal (§4.3,
+// §4.4). It returns the candidate exits, the number of candidate
+// structures, and the modeled prediction cost.
+func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float64) ([]sgraph.Boundary, int, time.Duration) {
+	ops0 := g.Ops()
+
+	var startVerts []int32
+	var prevPts []geom.Vec3
+	reset := len(s.prevExits) == 0 || s.cfg.DisablePruning
+	if !reset {
+		// Match this query's crossings against where the previous exits
+		// PROJECT to: the exit point extrapolated across the gap along the
+		// structure's direction. Projection keeps the tolerance tight even
+		// for large gaps — inflating the radius around the old exit point
+		// instead would eventually match every structure in the query and
+		// void the pruning.
+		tol := side*s.cfg.MatchTolFrac + estGap*0.6
+		matched := g.CrossingsNearDir(region,
+			projectedPoints(s.prevExits, estGap), boundaryDirs(s.prevExits), tol)
+		if len(matched) == 0 {
+			reset = true // user switched structures (§4.3 reset)
+		} else {
+			for _, m := range matched {
+				startVerts = append(startVerts, m.Vertex)
+			}
+			prevPts = projectedPoints(s.prevExits, estGap)
+		}
+	}
+	if reset {
+		prevPts = nil
+		startVerts = startVerts[:0]
+		for _, c := range g.Crossings(region) {
+			startVerts = append(startVerts, c.Vertex)
+		}
+	}
+	exits, candidates := s.predictFrom(g, region, side, startVerts, prevPts)
+	if !reset && estGap > side*0.05 {
+		// "SCOUT has no way to prune candidates in the gap region and is
+		// forced to traverse the entire graph" (§7.3): charge a full-graph
+		// traversal on top of the candidate traversal.
+		all := make([]int32, g.NumVertices())
+		for v := range all {
+			all[v] = int32(v)
+		}
+		g.ReachableFrom(all)
+	}
+
+	predCost := time.Duration(g.Ops()-ops0) * s.cfg.Cost.PerOp
+	return exits, candidates, predCost
+}
+
+// predictFrom traverses the graph from the candidate start vertices and
+// selects the forward exits. For each previous exit point, the NEAREST
+// reachable crossing is where the structure entered this query; all other
+// reachable crossings are where candidates leave it and become the
+// predicted exits. On a reset (prevPts nil) every reachable crossing is a
+// potential exit — the user's direction is unknown, so broad prefetching
+// covers both ends of every structure.
+func (s *Scout) predictFrom(g *sgraph.Graph, region geom.Region, side float64, startVerts []int32, prevPts []geom.Vec3) ([]sgraph.Boundary, int) {
+	crossings := g.ReachableCrossings(startVerts, region)
+	exits := crossings
+	if len(prevPts) > 0 {
+		entry := make([]bool, len(crossings))
+		slack := side * 0.25
+		for _, p := range prevPts {
+			minD := -1.0
+			for _, c := range crossings {
+				if d := c.Point.Dist(p); minD < 0 || d < minD {
+					minD = d
+				}
+			}
+			if minD < 0 {
+				continue
+			}
+			for i, c := range crossings {
+				if c.Point.Dist(p) <= minD+slack {
+					entry[i] = true
+				}
+			}
+		}
+		forward := make([]sgraph.Boundary, 0, len(crossings))
+		for i, c := range crossings {
+			if !entry[i] {
+				forward = append(forward, c)
+			}
+		}
+		if len(forward) > 0 {
+			exits = forward
+		}
+	}
+	return exits, countComponents(g, startVerts)
+}
+
+// requestsFor converts candidate exits into the prefetch plan: select
+// locations per the strategy, then emit interleaved incremental ladders.
+func (s *Scout) requestsFor(exits []sgraph.Boundary, volume, side, estStep, estGap float64) []prefetch.Request {
+	locs := s.selectLocations(exits, side, estStep, estGap)
+	if len(locs) == 0 {
+		return s.fallbackRequests(volume, side)
+	}
+	if volume <= 0 {
+		volume = side * side * side
+	}
+	ladders := make([][]prefetch.Request, len(locs))
+	for i, l := range locs {
+		ladders[i] = prefetch.IncrementalRequests(l.center, l.dir, volume, s.cfg.Ladder)
+	}
+	return interleave(ladders)
+}
+
+// fallbackRequests extrapolates the centers linearly when no exits exist
+// (e.g. the structure ends inside the query): SCOUT's backup is a straight
+// line from past positions (§5.3).
+func (s *Scout) fallbackRequests(volume, side float64) []prefetch.Request {
+	n := len(s.centers)
+	if n < 2 {
+		return nil
+	}
+	delta := s.centers[n-1].Sub(s.centers[n-2])
+	if delta.Len() == 0 {
+		return nil
+	}
+	if volume <= 0 {
+		volume = side * side * side
+	}
+	dir := delta.Normalize()
+	anchor := s.centers[n-1].Add(delta).Sub(dir.Scale(side / 2))
+	return prefetch.IncrementalRequests(anchor, dir, volume, s.cfg.Ladder)
+}
+
+// location is one predicted prefetch anchor: the expected entry point E of
+// the next query (the candidate's exit, shifted across any gap) and the
+// extrapolation direction.
+type location struct {
+	center geom.Vec3
+	dir    geom.Vec3
+}
+
+// selectLocations extrapolates each exit linearly to a predicted query
+// center (§4.4), then applies the strategy: deep picks one at random
+// (§5.2.1); broad keeps all, k-means clustering down to MaxLocations when
+// there are too many (§5.2.2).
+func (s *Scout) selectLocations(exits []sgraph.Boundary, side, estStep, estGap float64) []location {
+	if len(exits) == 0 {
+		return nil
+	}
+	// The anchor is the expected entry point of the next query: the exit
+	// point itself for adjacent queries, shifted by the estimated gap when
+	// the sequence has gaps (§5.3 linear extrapolation).
+	_ = estStep
+	mk := func(e sgraph.Boundary) location {
+		return location{center: e.Point.Add(e.Dir.Scale(estGap)), dir: e.Dir}
+	}
+	if s.cfg.Strategy == Deep {
+		return []location{mk(exits[s.rng.Intn(len(exits))])}
+	}
+	if len(exits) <= s.cfg.MaxLocations {
+		locs := make([]location, len(exits))
+		for i, e := range exits {
+			locs[i] = mk(e)
+		}
+		return dedupeLocations(locs, side*0.3)
+	}
+	// Too many exits: k-means the exit points and take one exit per
+	// cluster at random (§5.2.2).
+	reps := kmeansRepresentatives(s.rng, exits, s.cfg.MaxLocations)
+	locs := make([]location, len(reps))
+	for i, e := range reps {
+		locs[i] = mk(e)
+	}
+	return dedupeLocations(locs, side*0.3)
+}
+
+// dedupeLocations merges locations closer than tol (overlapping prefetch
+// queries would waste window; the paper expands overlapping regions, we
+// simply merge them).
+func dedupeLocations(locs []location, tol float64) []location {
+	var out []location
+	for _, l := range locs {
+		dup := false
+		for _, o := range out {
+			if l.center.Dist(o.center) < tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// interleave merges per-location ladders round-robin so every location gets
+// its small, high-priority requests served before any location's large ones:
+// the broad strategy's equal-weight split (§5.2.2).
+func interleave(ladders [][]prefetch.Request) []prefetch.Request {
+	var out []prefetch.Request
+	for i := 0; ; i++ {
+		advanced := false
+		for _, l := range ladders {
+			if i < len(l) {
+				out = append(out, l[i])
+				advanced = true
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+}
+
+// boundaryPoints projects boundaries to their crossing points.
+func boundaryPoints(bs []sgraph.Boundary) []geom.Vec3 {
+	pts := make([]geom.Vec3, len(bs))
+	for i, b := range bs {
+		pts[i] = b.Point
+	}
+	return pts
+}
+
+// projectedPoints extrapolates each exit across the gap along its outward
+// direction: the expected entry points of the next query (§5.3).
+func projectedPoints(bs []sgraph.Boundary, gap float64) []geom.Vec3 {
+	pts := make([]geom.Vec3, len(bs))
+	for i, b := range bs {
+		pts[i] = b.Point.Add(b.Dir.Scale(gap))
+	}
+	return pts
+}
+
+// boundaryDirs extracts the outward directions of the boundaries.
+func boundaryDirs(bs []sgraph.Boundary) []geom.Vec3 {
+	dirs := make([]geom.Vec3, len(bs))
+	for i, b := range bs {
+		dirs[i] = b.Dir
+	}
+	return dirs
+}
+
+// countComponents counts distinct connected components among the vertices
+// with pairwise Connected probes; start-vertex sets are small, so O(k²) is
+// fine.
+func countComponents(g *sgraph.Graph, verts []int32) int {
+	var reps []int32
+	for _, v := range verts {
+		found := false
+		for _, r := range reps {
+			if g.Connected(v, r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			reps = append(reps, v)
+		}
+	}
+	return len(reps)
+}
+
+// graphBuildCost models the CPU time of graph construction.
+func graphBuildCost(c CostConfig, g *sgraph.Graph) time.Duration {
+	return time.Duration(g.NumVertices())*c.PerObject +
+		time.Duration(g.NumEdges())*c.PerEdge
+}
+
+// sideOf returns the cube-equivalent side length of a box.
+func sideOf(b geom.AABB) float64 {
+	return math.Cbrt(b.Volume())
+}
+
+// kmeansRepresentatives clusters the exits' points into k clusters with
+// Lloyd's algorithm (the paper cites k-means' smoothed polynomial
+// complexity, §5.2.2) and returns one exit per non-empty cluster, chosen at
+// random.
+func kmeansRepresentatives(rng *rand.Rand, exits []sgraph.Boundary, k int) []sgraph.Boundary {
+	if len(exits) <= k {
+		return exits
+	}
+	if k > 16 {
+		k = 16 // the accumulator arrays below are fixed-size
+	}
+	// Initialize centers from distinct random exits.
+	perm := rng.Perm(len(exits))
+	centers := make([]geom.Vec3, k)
+	for i := 0; i < k; i++ {
+		centers[i] = exits[perm[i]].Point
+	}
+	assign := make([]int, len(exits))
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for i, e := range exits {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := e.Point.DistSq(centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		var sum [16]geom.Vec3 // k ≤ MaxLocations is small
+		var cnt [16]int
+		for i := range exits {
+			sum[assign[i]] = sum[assign[i]].Add(exits[i].Point)
+			cnt[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				centers[c] = sum[c].Scale(1 / float64(cnt[c]))
+			}
+		}
+	}
+	// One random exit per non-empty cluster.
+	byCluster := make([][]int, k)
+	for i, a := range assign {
+		byCluster[a] = append(byCluster[a], i)
+	}
+	var out []sgraph.Boundary
+	for _, members := range byCluster {
+		if len(members) > 0 {
+			out = append(out, exits[members[rng.Intn(len(members))]])
+		}
+	}
+	return out
+}
+
+var _ prefetch.Prefetcher = (*Scout)(nil)

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"time"
+
+	"scout/internal/flatindex"
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/sgraph"
+)
+
+// ScoutOpt is SCOUT coupled with a FLAT-like index, enabling the two
+// optimizations of §6: sparse graph construction (§6.2) and gap traversal
+// (§6.3). In the absence of gaps it produces the same predictions as SCOUT
+// from a cheaper, sparser graph; with gaps it follows the candidate
+// structures across the gap page-by-page instead of extrapolating blindly.
+type ScoutOpt struct {
+	Scout
+	flat *flatindex.Index
+}
+
+// NewOpt creates a SCOUT-OPT prefetcher over the given FLAT-like index.
+// adjacency may be nil (grid hashing) or the dataset's explicit graph.
+func NewOpt(flat *flatindex.Index, adjacency [][]pagestore.ObjectID, cfg Config) *ScoutOpt {
+	return &ScoutOpt{
+		Scout: *New(flat.Store(), adjacency, cfg),
+		flat:  flat,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (s *ScoutOpt) Name() string { return "SCOUT-OPT" }
+
+// Observe implements prefetch.Prefetcher. It mirrors Scout.Observe but uses
+// sparse graph construction when the previous query's exits are known, and
+// adds gap traversal to the plan when the sequence has gaps.
+func (s *ScoutOpt) Observe(obs prefetch.Observation) {
+	bounds := obs.Region.Bounds()
+	side := sideOf(bounds)
+	s.centers = append(s.centers, obs.Center)
+	estStep, estGap := s.estimateStep(side)
+	tol := side*s.cfg.MatchTolFrac + estGap*0.6
+
+	var g *sgraph.Graph
+	var startVerts []int32
+	var prevPts []geom.Vec3
+	sparsePages := 0
+	reset := len(s.prevExits) == 0
+	if !reset {
+		g, startVerts, _, sparsePages = s.sparseBuild(obs, bounds, tol, estGap)
+		if len(startVerts) == 0 {
+			reset = true // candidate lost: rebuild in full
+		} else {
+			prevPts = projectedPoints(s.prevExits, estGap)
+		}
+	}
+	if reset {
+		g = s.buildGraph(obs, bounds)
+		prevPts = nil
+		startVerts = startVerts[:0]
+		for _, c := range g.Crossings(obs.Region) {
+			startVerts = append(startVerts, c.Vertex)
+		}
+	}
+	buildCost := graphBuildCost(s.cfg.Cost, g)
+
+	ops0 := g.Ops()
+	exits, candidates := s.predictFrom(g, obs.Region, side, startVerts, prevPts)
+	predCost := time.Duration(g.Ops()-ops0) * s.cfg.Cost.PerOp
+	s.prevExits = exits
+
+	// Gap traversal (§6.3): follow the candidate structures across the gap
+	// under the I/O budget, yielding refined predicted locations plus the
+	// pages read on the way.
+	var locs []location
+	var gapPages []pagestore.PageID
+	var gapCost time.Duration
+	if estGap > side*0.05 && len(exits) > 0 {
+		budget := int(s.cfg.GapIOFrac * float64(len(obs.Pages)))
+		if budget < 1 {
+			budget = 1
+		}
+		// Concentrate the tight I/O budget: cluster near-duplicate exits
+		// (boundary wiggles produce several crossings of the same
+		// structure) and follow at most two candidates across the gap.
+		distinct := dedupeExits(exits, side*0.4)
+		if len(distinct) > 2 {
+			distinct = distinct[:2]
+		}
+		locs, gapPages, gapCost = s.gapTraverse(distinct, bounds, side, estGap, budget)
+	}
+
+	volume := bounds.Volume() // page footprint; see Scout.Observe
+	var reqs []prefetch.Request
+	if len(locs) > 0 {
+		// Traversal-refined anchors first (highest confidence), then the
+		// regular broad exit ladders as coverage for the candidates the
+		// I/O budget could not follow.
+		ladders := make([][]prefetch.Request, len(locs))
+		for i, l := range locs {
+			ladders[i] = prefetch.IncrementalRequests(l.center, l.dir, volume, s.cfg.Ladder)
+		}
+		reqs = interleave(ladders)
+	}
+	reqs = append(reqs, s.requestsFor(exits, volume, side, estStep, estGap)...)
+
+	s.stats = QueryStats{
+		ResultObjects: len(obs.Result),
+		Vertices:      g.NumVertices(),
+		Edges:         g.NumEdges(),
+		MemoryBytes:   g.MemoryBytes(),
+		GraphBuild:    buildCost,
+		Prediction:    predCost + gapCost,
+		Candidates:    candidates,
+		Exits:         len(exits),
+		SparsePages:   sparsePages,
+		GapPages:      len(gapPages),
+	}
+	s.plan = prefetch.Plan{
+		Requests:   reqs,
+		GraphBuild: buildCost,
+		Prediction: predCost + gapCost,
+		// Sparse construction interleaves graph building and prediction
+		// with result retrieval, so "the prediction process is already
+		// finished once the query result is retrieved" (§6.2).
+		PredictionHidden: !reset,
+		TraversalPages:   gapPages,
+	}
+}
+
+// sparseBuild implements §6.2: starting from the pages at the previous
+// query's exit locations, it builds only the subgraph reachable from those
+// exits, expanding through page neighborhood links, and leaves the rest of
+// the result pages out of the graph entirely. It returns the graph, the
+// start vertices matched to the previous exits, their crossing points, and
+// the number of pages whose objects were added.
+func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol, estGap float64) (*sgraph.Graph, []int32, []geom.Vec3, int) {
+	inResult := make(map[pagestore.ObjectID]bool, len(obs.Result))
+	for _, id := range obs.Result {
+		inResult[id] = true
+	}
+	inCand := make(map[pagestore.PageID]bool, len(obs.Pages))
+	for _, p := range obs.Pages {
+		inCand[p] = true
+	}
+	exitPts := projectedPoints(s.prevExits, estGap)
+
+	// Seed pages: candidate pages whose MBR comes within tol of an exit.
+	var queue []pagestore.PageID
+	visited := make(map[pagestore.PageID]bool)
+	for _, p := range obs.Pages {
+		mbr := s.store.PageBounds(p)
+		for _, pt := range exitPts {
+			if mbr.DistSq(pt) <= tol*tol {
+				queue = append(queue, p)
+				visited[p] = true
+				break
+			}
+		}
+	}
+	if len(queue) == 0 {
+		return nil, nil, nil, 0
+	}
+
+	g := sgraph.New(s.store, bounds, s.cfg.Resolution)
+	var startVerts []int32
+	var matchedPts []geom.Vec3
+	pagesUsed := 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		pagesUsed++
+
+		// Build the subgraph of page P: add its result objects.
+		added := make([]int32, 0, 8)
+		for _, id := range s.store.PageObjects(p) {
+			if !inResult[id] {
+				continue
+			}
+			if g.Contains(id) {
+				continue
+			}
+			added = append(added, s.addObjectMaybeExplicit(g, id, inResult))
+		}
+		// Newly found crossings near the previous exits (only the vertices
+		// added by this page can contribute new ones).
+		for _, v := range added {
+			for _, c := range g.VertexCrossings(v, obs.Region) {
+				if nearAny(c.Point, exitPts, tol) && !containsVert(startVerts, c.Vertex) {
+					startVerts = append(startVerts, c.Vertex)
+					matchedPts = append(matchedPts, c.Point)
+				}
+			}
+		}
+		// "Start to traverse the subgraph and find the locations X where
+		// the subgraph exits the page P ... retrieve all neighboring pages
+		// of P at X" (§6.2): expansion happens only where the candidate
+		// structure itself leaves the page, never to all neighbors.
+		eps := sideOf(bounds) * 0.02
+		// Shrink P's MBR so endpoints exactly on the page boundary count
+		// as crossings (shared boundaries are the common case for packed
+		// pages).
+		pageMBR := s.store.PageBounds(p).Inflate(-eps)
+		for _, v := range added {
+			if !connectedToAny(g, v, startVerts) {
+				continue
+			}
+			seg := g.ObjectOf(v).Seg
+			for _, pt := range []geom.Vec3{seg.A, seg.B} {
+				if pageMBR.Contains(pt) {
+					continue // endpoint stays inside P: no page crossing
+				}
+				for _, q := range s.flat.Neighbors(p) {
+					if !inCand[q] || visited[q] {
+						continue
+					}
+					if s.store.PageBounds(q).Inflate(eps).Contains(pt) {
+						visited[q] = true
+						queue = append(queue, q)
+					}
+				}
+			}
+		}
+	}
+	return g, startVerts, matchedPts, pagesUsed
+}
+
+// nearAny reports whether p is within tol of any of the points.
+func nearAny(p geom.Vec3, pts []geom.Vec3, tol float64) bool {
+	t2 := tol * tol
+	for _, q := range pts {
+		if p.DistSq(q) <= t2 {
+			return true
+		}
+	}
+	return false
+}
+
+// connectedToAny reports whether v is connected to any of the vertices.
+func connectedToAny(g *sgraph.Graph, v int32, verts []int32) bool {
+	for _, w := range verts {
+		if g.Connected(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupeExits merges exits whose crossing points are within tol.
+func dedupeExits(exits []sgraph.Boundary, tol float64) []sgraph.Boundary {
+	var out []sgraph.Boundary
+	for _, e := range exits {
+		dup := false
+		for _, o := range out {
+			if e.Point.Dist(o.Point) < tol {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// containsVert reports whether v is already in verts.
+func containsVert(verts []int32, v int32) bool {
+	for _, w := range verts {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// addObjectMaybeExplicit inserts an object, wiring explicit adjacency when
+// the dataset has it.
+func (s *ScoutOpt) addObjectMaybeExplicit(g *sgraph.Graph, id pagestore.ObjectID, inResult map[pagestore.ObjectID]bool) int32 {
+	v := g.AddObject(id)
+	if s.adjacency != nil {
+		for _, nb := range s.adjacency[id] {
+			if inResult[nb] && g.Contains(nb) {
+				g.ConnectExplicit(id, nb)
+			}
+		}
+	}
+	return v
+}
+
+// gapTraverse implements §6.3: from each candidate exit, read the pages
+// that neighbor the exit location, build the subgraph of their objects,
+// follow it outward, and repeat until the estimated gap distance is covered
+// or the I/O budget is spent. Page selection is best-first — always the
+// unread neighbor page closest to the farthest point of the structure
+// reached so far — so the budget is spent following the structure rather
+// than flooding its neighborhood ("load exactly those pages needed to
+// reconstruct the graph outside the query region"). When the budget runs
+// out early it falls back to linear extrapolation from the farthest point
+// reached ("a backup mechanism, e.g., linear extrapolation from the point
+// where the traversal was stopped").
+func (s *ScoutOpt) gapTraverse(exits []sgraph.Boundary, region geom.AABB, side, estGap float64, budget int) ([]location, []pagestore.PageID, time.Duration) {
+	limit := s.cfg.MaxLocations
+	if len(exits) < limit {
+		limit = len(exits)
+	}
+	perExit := budget / limit
+	if perExit < 2 {
+		perExit = 2
+	}
+
+	var locs []location
+	var pages []pagestore.PageID
+	var ops int64
+	for _, e := range exits[:limit] {
+		// A generous isotropic corridor: the structure may bend away from
+		// the exit direction while crossing the gap — that is exactly why
+		// traversal beats extrapolation.
+		reach := estGap + side
+		corridor := geom.CubeAt(e.Point.Add(e.Dir.Scale(estGap/2)), 8*reach*reach*reach)
+
+		g := sgraph.New(s.store, corridor, s.cfg.Resolution)
+		visited := map[pagestore.PageID]bool{}
+		var frontier []pagestore.PageID
+		if seed, ok := s.flat.SeedPage(e.Point.Add(e.Dir.Scale(side * 0.02))); ok {
+			frontier = append(frontier, seed)
+			visited[seed] = true
+		}
+		// The traversal starts from the objects at the exit location.
+		var starts []int32
+		far := location{center: e.Point, dir: e.Dir}
+		farDist := 0.0
+
+		used := 0
+		for len(frontier) > 0 && used < perExit {
+			// Best-first: pop the frontier page nearest the farthest
+			// reached point (initially the exit itself).
+			best := 0
+			bestD := s.store.PageBounds(frontier[0]).DistSq(far.center)
+			for i := 1; i < len(frontier); i++ {
+				if d := s.store.PageBounds(frontier[i]).DistSq(far.center); d < bestD {
+					bestD = d
+					best = i
+				}
+			}
+			p := frontier[best]
+			frontier[best] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			used++
+			pages = append(pages, p)
+
+			for _, id := range s.store.PageObjects(p) {
+				o := s.store.Object(id)
+				if !o.IntersectsBox(corridor) {
+					continue
+				}
+				v := g.AddObject(id)
+				if o.Seg.DistToPoint(e.Point) < side*0.15 {
+					starts = append(starts, v)
+				}
+			}
+			// Track the best anchor and the farthest progress so far.
+			loc, reached := farthestAlong(g, starts, e, estGap, side)
+			if d := loc.center.Dist(e.Point); d > farDist-side {
+				far = loc
+			}
+			if d := loc.center.Dist(e.Point); d > farDist {
+				farDist = d
+			}
+			if reached {
+				far = loc
+				farDist = estGap
+				break
+			}
+			for _, q := range s.flat.Neighbors(p) {
+				if visited[q] {
+					continue
+				}
+				if !s.store.PageBounds(q).Intersects(corridor) {
+					continue
+				}
+				visited[q] = true
+				frontier = append(frontier, q)
+			}
+		}
+		ops += g.Ops()
+
+		loc := far
+		if farDist < estGap*0.9 {
+			// Budget exhausted before crossing the gap: linear
+			// extrapolation from where the traversal stopped.
+			short := estGap - loc.center.Dist(e.Point)
+			if short > 0 {
+				loc.center = loc.center.Add(loc.dir.Scale(short))
+			}
+		}
+		locs = append(locs, loc)
+	}
+	cost := time.Duration(ops)*s.cfg.Cost.PerOp +
+		time.Duration(len(pages))*s.cfg.Cost.PerObject // page-handling overhead
+	return dedupeLocations(locs, side*0.3), pages, cost
+}
+
+// farthestAlong walks the gap subgraph from the start vertices and returns
+// the predicted location — the reachable structure point closest to the
+// estimated gap distance from the exit, which is where the next query is
+// expected to begin — together with the farthest distance reached. reached
+// reports whether the structure was followed at least the full gap
+// distance.
+func farthestAlong(g *sgraph.Graph, starts []int32, e sgraph.Boundary, estGap, side float64) (location, bool) {
+	if len(starts) == 0 {
+		// Nothing recovered at the exit: pure linear extrapolation.
+		return location{center: e.Point.Add(e.Dir.Scale(estGap)), dir: e.Dir}, false
+	}
+	best := location{center: e.Point, dir: e.Dir}
+	bestErr := estGap // |d − estGap| of the anchor candidate
+	farDist := 0.0
+	for _, v := range g.ReachableFrom(starts) {
+		o := g.ObjectOf(v)
+		c := o.Centroid()
+		rel := c.Sub(e.Point)
+		// Only the forward half-space counts: the structure leaves the
+		// query through this exit, so its continuation — and the next
+		// query — lie ahead of it. Euclidean distance alone would tie
+		// points behind the exit with the true target.
+		if rel.Dot(e.Dir) < -0.1*estGap {
+			continue
+		}
+		d := rel.Len()
+		if d > farDist {
+			farDist = d
+		}
+		if err := abs(d - estGap); err < bestErr {
+			bestErr = err
+			dir := o.Seg.Dir().Normalize()
+			// Orient the direction away from the exit.
+			if dir.Dot(rel) < 0 {
+				dir = dir.Neg()
+			}
+			best = location{center: c, dir: dir}
+		}
+	}
+	return best, farDist >= estGap*0.9
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ prefetch.Prefetcher = (*ScoutOpt)(nil)

@@ -1,0 +1,337 @@
+// Package engine executes guided spatial query sequences on the virtual
+// clock, reproducing the resource timeline of the paper's Figure 2: the user
+// issues a query, cache hits are served from the prefetch cache and misses
+// from disk (residual I/O), the prefetcher computes its prediction, and the
+// prefetch window — user analysis time, modeled as the paper's prefetch
+// window ratio r = u/d times the query's cold retrieval time — is spent
+// reading the planned pages into the cache until it closes.
+//
+// All times are simulated via pagestore.CostModel (see DESIGN.md §2);
+// results are deterministic and machine-independent.
+package engine
+
+import (
+	"time"
+
+	"scout/internal/cache"
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// Config parameterizes an engine run.
+type Config struct {
+	// CacheFraction sizes the prefetch cache as a fraction of the dataset's
+	// pages. The paper grants 4 GB of cache for a 33 GB dataset (§7.1), a
+	// ratio of ≈0.12.
+	CacheFraction float64
+	// CachePages overrides CacheFraction with an absolute capacity when
+	// positive.
+	CachePages int
+	// Cost is the disk cost model.
+	Cost pagestore.CostModel
+	// SkipFirstQuery excludes each sequence's first query from hit-rate
+	// accounting: no prediction can exist for it, for any prefetcher.
+	SkipFirstQuery bool
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		CacheFraction:  4.0 / 33.0,
+		Cost:           pagestore.DefaultCostModel(),
+		SkipFirstQuery: true,
+	}
+}
+
+// QueryTrace records the execution of one query for analysis.
+type QueryTrace struct {
+	Seq         int
+	ResultPages int
+	HitPages    int
+	Cold        time.Duration // cold retrieval time (no cache)
+	Residual    time.Duration // actual disk time for misses
+	Window      time.Duration // prefetch window duration
+	GraphBuild  time.Duration
+	Prediction  time.Duration
+	PrefetchIO  time.Duration // window time spent reading prefetch pages
+	Prefetched  int           // pages prefetched during the window
+}
+
+// SequenceResult aggregates one sequence's execution.
+type SequenceResult struct {
+	Queries []QueryTrace
+	// HitPages/TotalPages accumulate over counted queries (respecting
+	// SkipFirstQuery).
+	HitPages   int64
+	TotalPages int64
+	// Cold and Residual accumulate the response-time components over
+	// counted queries; Speedup = Cold / (Residual + unhidden overheads).
+	Cold       time.Duration
+	Residual   time.Duration
+	GraphBuild time.Duration
+	Prediction time.Duration
+}
+
+// HitRate returns the sequence's cache hit rate.
+func (r SequenceResult) HitRate() float64 {
+	if r.TotalPages == 0 {
+		return 0
+	}
+	return float64(r.HitPages) / float64(r.TotalPages)
+}
+
+// Speedup returns the response-time speedup versus no prefetching.
+func (r SequenceResult) Speedup() float64 {
+	denom := r.Residual
+	if denom <= 0 {
+		denom = time.Nanosecond
+	}
+	return float64(r.Cold) / float64(denom)
+}
+
+// Index is the spatial index contract the engine needs. The FLAT index adds
+// ordered retrieval on top, which SCOUT-OPT uses internally; the engine
+// itself only needs candidate pages.
+type Index interface {
+	QueryPages(r geom.Region, dst []pagestore.PageID) []pagestore.PageID
+}
+
+// Engine runs sequences against one dataset + index + prefetcher binding.
+type Engine struct {
+	store *pagestore.Store
+	index Index
+	disk  *pagestore.Disk
+	cache *cache.Cache
+	cfg   Config
+}
+
+// New creates an engine. The store must be paginated (bulk-loaded).
+func New(store *pagestore.Store, index Index, cfg Config) *Engine {
+	if cfg.Cost == (pagestore.CostModel{}) {
+		cfg.Cost = pagestore.DefaultCostModel()
+	}
+	capacity := cfg.CachePages
+	if capacity <= 0 {
+		frac := cfg.CacheFraction
+		if frac <= 0 {
+			frac = 4.0 / 33.0
+		}
+		capacity = int(frac * float64(store.NumPages()))
+		if capacity < 1 {
+			capacity = 1
+		}
+	}
+	return &Engine{
+		store: store,
+		index: index,
+		disk:  pagestore.NewDisk(store, cfg.Cost),
+		cache: cache.New(capacity),
+		cfg:   cfg,
+	}
+}
+
+// Cache exposes the engine's prefetch cache (for inspection in tests).
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Disk exposes the engine's simulated disk (for inspection in tests).
+func (e *Engine) Disk() *pagestore.Disk { return e.disk }
+
+// RunSequence executes one guided sequence with the given prefetcher. State
+// (cache, disk head, prefetcher) is cleared first, matching the paper's
+// methodology ("after executing each sequence of queries, we clear the
+// prefetch cache, the operating system cache and the disk buffers", §7.1).
+func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) SequenceResult {
+	e.cache.Clear()
+	e.disk.ResetHead()
+	p.Reset()
+
+	res := SequenceResult{}
+	ratio := seq.Params.WindowRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+
+	var pageBuf []pagestore.PageID
+	var missBuf []pagestore.PageID
+	for qi, q := range seq.Queries {
+		tr := QueryTrace{Seq: qi}
+
+		// The head position does not survive user think time (the OS and
+		// other processes move it), so every query starts cold — exactly
+		// the assumption behind ColdCost. Within the query and its prefetch
+		// window, sequential-run discounts apply normally.
+		e.disk.ResetHead()
+
+		// 1. Locate the query's pages and serve them: cache hits from the
+		// prefetch cache, misses from disk (residual I/O). The cache holds
+		// prefetched data only ("4GB of memory to cache prefetched data",
+		// §7.1) — user-query misses are NOT inserted, so the hit rate is a
+		// pure measure of prediction accuracy, which is what makes the
+		// paper's Figure 3 baselines meaningful.
+		pageBuf = e.index.QueryPages(q.Region, pageBuf[:0])
+		tr.ResultPages = len(pageBuf)
+		tr.Cold = e.disk.ColdCost(pageBuf)
+
+		missBuf = missBuf[:0]
+		for _, pg := range pageBuf {
+			if e.cache.Lookup(pg) {
+				tr.HitPages++
+			} else {
+				missBuf = append(missBuf, pg)
+			}
+		}
+		tr.Residual = e.disk.ReadPages(missBuf)
+
+		// 2. The prefetcher observes the completed query (content included:
+		// SCOUT needs it, baselines ignore it).
+		result := e.queryObjects(q.Region, pageBuf)
+		p.Observe(prefetch.Observation{
+			Seq:    qi,
+			Region: q.Region,
+			Center: q.Center,
+			Result: result,
+			Pages:  append([]pagestore.PageID(nil), pageBuf...),
+		})
+		plan := p.Plan()
+		tr.GraphBuild = plan.GraphBuild
+		tr.Prediction = plan.Prediction
+
+		// 3. The prefetch window: user analysis takes r × cold time.
+		// Prediction computation eats into the window unless the prefetcher
+		// hides it under result retrieval (§6.2).
+		tr.Window = time.Duration(ratio * float64(tr.Cold))
+		budget := tr.Window
+		if !plan.PredictionHidden {
+			budget -= plan.Prediction
+		}
+		if qi < len(seq.Queries)-1 && budget > 0 {
+			prefetched, ioTime := e.executePlan(plan, budget)
+			tr.Prefetched = prefetched
+			tr.PrefetchIO = ioTime
+		}
+
+		// 4. Accounting.
+		counted := !(e.cfg.SkipFirstQuery && qi == 0)
+		if counted {
+			res.HitPages += int64(tr.HitPages)
+			res.TotalPages += int64(tr.ResultPages)
+			res.Cold += tr.Cold
+			res.Residual += tr.Residual
+			res.GraphBuild += tr.GraphBuild
+			res.Prediction += tr.Prediction
+		}
+		res.Queries = append(res.Queries, tr)
+	}
+	return res
+}
+
+// executePlan reads the plan's pages into the cache until the window budget
+// is exhausted: first the gap-traversal pages, then the incremental request
+// ladder. It returns the number of pages prefetched and the I/O time spent.
+func (e *Engine) executePlan(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
+	var spent time.Duration
+	prefetched := 0
+
+	readPage := func(pg pagestore.PageID) bool {
+		if e.cache.Contains(pg) {
+			return true // already cached: free (still in cache)
+		}
+		cost := e.disk.ReadPage(pg)
+		if spent+cost > budget {
+			// The window closed mid-read: the page still completes (the
+			// disk cannot abort a read) but the window is over.
+			spent += cost
+			e.cache.Insert(pg)
+			prefetched++
+			return false
+		}
+		spent += cost
+		e.cache.Insert(pg)
+		prefetched++
+		return true
+	}
+
+	// Traversal pages keep their plan order: gap traversal reads them in
+	// structure-following priority.
+	for _, pg := range plan.TraversalPages {
+		if !readPage(pg) {
+			return prefetched, spent
+		}
+	}
+	// Each request's pages are issued in ascending physical order, as a
+	// disk scheduler would, so contiguous runs earn their discount.
+	var buf []pagestore.PageID
+	for _, req := range plan.Requests {
+		buf = e.index.QueryPages(req.Region, buf[:0])
+		pagestore.SortPageIDs(buf)
+		for _, pg := range buf {
+			if !readPage(pg) {
+				return prefetched, spent
+			}
+		}
+	}
+	return prefetched, spent
+}
+
+// queryObjects filters the candidate pages' objects by the region.
+func (e *Engine) queryObjects(r geom.Region, pages []pagestore.PageID) []pagestore.ObjectID {
+	var out []pagestore.ObjectID
+	for _, pg := range pages {
+		for _, id := range e.store.PageObjects(pg) {
+			if pagestore.Matches(r, e.store.Object(id)) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// RunAll executes many sequences and aggregates their results.
+func (e *Engine) RunAll(seqs []workload.Sequence, p prefetch.Prefetcher) Aggregate {
+	var agg Aggregate
+	for _, seq := range seqs {
+		r := e.RunSequence(seq, p)
+		agg.add(r)
+	}
+	return agg
+}
+
+// Aggregate summarizes many sequence runs.
+type Aggregate struct {
+	Sequences  int
+	HitPages   int64
+	TotalPages int64
+	Cold       time.Duration
+	Residual   time.Duration
+	GraphBuild time.Duration
+	Prediction time.Duration
+}
+
+func (a *Aggregate) add(r SequenceResult) {
+	a.Sequences++
+	a.HitPages += r.HitPages
+	a.TotalPages += r.TotalPages
+	a.Cold += r.Cold
+	a.Residual += r.Residual
+	a.GraphBuild += r.GraphBuild
+	a.Prediction += r.Prediction
+}
+
+// HitRate returns the pooled cache hit rate across sequences.
+func (a Aggregate) HitRate() float64 {
+	if a.TotalPages == 0 {
+		return 0
+	}
+	return float64(a.HitPages) / float64(a.TotalPages)
+}
+
+// Speedup returns the pooled response-time speedup versus no prefetching.
+func (a Aggregate) Speedup() float64 {
+	denom := a.Residual
+	if denom <= 0 {
+		denom = time.Nanosecond
+	}
+	return float64(a.Cold) / float64(denom)
+}

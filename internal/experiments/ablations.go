@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/engine"
+)
+
+// Ablations beyond the paper: each validates one design choice DESIGN.md
+// calls out, on the default neuro workload.
+
+// AblationStrategy compares deep and broad prefetching (§5.2): broad should
+// match deep on average while cutting the variance across sequences.
+func AblationStrategy(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "ablation_strategy",
+		Figure: "§5.2 (ablation)",
+		Title:  "Deep vs broad prefetching: mean and variability of per-sequence accuracy",
+		Header: []string{"Strategy", "Mean hit rate", "Stddev across sequences"},
+	}
+	seqs := s.genSequences(sensitivityParams(), opt.sequences(50), opt.Seed)
+	for _, strat := range []core.Strategy{core.Deep, core.Broad} {
+		cfg := core.DefaultConfig()
+		cfg.Strategy = strat
+		e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+		var rates []float64
+		p := s.scout(cfg)
+		for _, seq := range seqs {
+			r := e.RunSequence(seq, p)
+			rates = append(rates, r.HitRate())
+		}
+		mean, std := meanStd(rates)
+		res.AddRow(strat.String(), pct(mean), fmt.Sprintf("%.3f", std))
+		opt.progress("ablation_strategy %s done", strat)
+	}
+	res.Notes = append(res.Notes,
+		"paper §5.2: deep predicts correctly with probability 1/|C| and 'the prefetch accuracy varies widely'; broad equalizes")
+	return res
+}
+
+// AblationPruning disables iterative candidate pruning (§4.3): every query
+// is treated as the first of its sequence.
+func AblationPruning(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "ablation_pruning",
+		Figure: "§4.3 (ablation)",
+		Title:  "Iterative candidate pruning on vs off",
+		Header: []string{"Pruning", "Hit rate", "Speedup", "Prediction cost/seq"},
+	}
+	seqs := s.genSequences(sensitivityParams(), opt.sequences(50), opt.Seed)
+	for _, disable := range []bool{false, true} {
+		cfg := core.DefaultConfig()
+		cfg.DisablePruning = disable
+		agg := s.runOne(seqs, s.scout(cfg))
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		nseq := agg.Sequences
+		if nseq < 1 {
+			nseq = 1
+		}
+		res.AddRow(label, pct(agg.HitRate()), x2(agg.Speedup()),
+			(agg.Prediction / time.Duration(nseq)).String())
+		opt.progress("ablation_pruning disable=%v done", disable)
+	}
+	res.Notes = append(res.Notes,
+		"without pruning every structure in the result stays a candidate: the window is split more ways and the whole graph is traversed each query")
+	return res
+}
+
+// AblationKMeans compares the k-means exit-location limit (§5.2.2) against
+// prefetching at every exit.
+func AblationKMeans(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "ablation_kmeans",
+		Figure: "§5.2.2 (ablation)",
+		Title:  "Limiting prefetch locations via k-means vs prefetching all exits",
+		Header: []string{"Max Locations", "Hit rate", "Speedup"},
+	}
+	seqs := s.genSequences(sensitivityParams(), opt.sequences(50), opt.Seed)
+	for _, maxLoc := range []int{1, 2, 4, 16} {
+		cfg := core.DefaultConfig()
+		cfg.MaxLocations = maxLoc
+		agg := s.runOne(seqs, s.scout(cfg))
+		res.AddRow(fmt.Sprintf("%d", maxLoc), pct(agg.HitRate()), x2(agg.Speedup()))
+		opt.progress("ablation_kmeans d=%d done", maxLoc)
+	}
+	res.Notes = append(res.Notes,
+		"too few locations miss bifurcations; too many dilute the window across spurious exits")
+	return res
+}
+
+// AblationIncremental compares the incremental ladder (§5.1) against a
+// single one-shot prefetch query of the full predicted region.
+func AblationIncremental(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "ablation_incremental",
+		Figure: "§5.1 (ablation)",
+		Title:  "Incremental prefetch ladder vs one-shot region",
+		Header: []string{"Ladder Steps", "Hit rate (r=0.5)", "Hit rate (r=1.5)"},
+	}
+	for _, steps := range []int{1, 3, 6, 10} {
+		row := []string{fmt.Sprintf("%d", steps)}
+		for _, r := range []float64{0.5, 1.5} {
+			p := sensitivityParams()
+			p.WindowRatio = r
+			seqs := s.genSequences(p, opt.sequences(50), opt.Seed)
+			cfg := core.DefaultConfig()
+			cfg.Ladder = steps
+			agg := s.runOne(seqs, s.scout(cfg))
+			row = append(row, pct(agg.HitRate()))
+		}
+		res.AddRow(row...)
+		opt.progress("ablation_incremental steps=%d done", steps)
+	}
+	res.Notes = append(res.Notes,
+		"the ladder matters most for short windows: early small requests put the likeliest data first, so truncation cuts the speculative tail")
+	return res
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyEnv runs experiments at a small scale so the whole registry can be
+// exercised in unit-test time.
+func tinyEnv() *Env {
+	return NewEnv(Options{Scale: 0.02, Sequences: 2, Seed: 3})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	// Every table and figure of the paper's evaluation must be present.
+	want := []string{
+		"fig3", "fig10", "fig11a", "fig11b", "fig12",
+		"fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig13f",
+		"fig14", "fig15", "fig16", "fig17a", "fig17b", "mem82",
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		ids[e.ID] = true
+	}
+	for _, w := range want {
+		if !ids[w] {
+			t.Errorf("experiment %s missing from registry", w)
+		}
+	}
+	if _, err := ByID("fig3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nonsense"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale experiment sweep skipped in -short mode")
+	}
+	env := tinyEnv()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(env)
+			if res.ID != e.ID {
+				t.Errorf("result id %q != experiment id %q", res.ID, e.ID)
+			}
+			if len(res.Header) == 0 || len(res.Rows) == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			for _, row := range res.Rows {
+				if len(row) != len(res.Header) {
+					t.Fatalf("%s: row width %d != header width %d", e.ID, len(row), len(res.Header))
+				}
+			}
+			s := res.String()
+			if !strings.Contains(s, res.Title) {
+				t.Errorf("%s: rendering lacks title", e.ID)
+			}
+		})
+	}
+}
+
+func TestEnvCachesSetups(t *testing.T) {
+	env := tinyEnv()
+	a := env.Neuro()
+	b := env.Neuro()
+	if a != b {
+		t.Error("Neuro setup rebuilt instead of cached")
+	}
+}
+
+func TestFig10Static(t *testing.T) {
+	res := Fig10(tinyEnv())
+	if len(res.Rows) != 7 {
+		t.Errorf("fig10 rows = %d, want 7 (Figure 10 has 7 benchmarks)", len(res.Rows))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	r := Result{
+		ID: "x", Figure: "F", Title: "T",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"n1"},
+	}
+	r.AddRow("1", "2")
+	s := r.String()
+	for _, want := range []string{"== x (F) ==", "T", "a", "bb", "1", "2", "note: n1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1.0 || o.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	if got := o.sequences(30); got != 30 {
+		t.Errorf("sequences = %d", got)
+	}
+	o.Sequences = 5
+	if got := o.sequences(30); got != 5 {
+		t.Errorf("override sequences = %d", got)
+	}
+	if got := (Options{Scale: 0.001}).withDefaults().objects(1_000_000); got != 2000 {
+		t.Errorf("objects floor = %d", got)
+	}
+}

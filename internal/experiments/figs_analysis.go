@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+)
+
+// statsProvider is satisfied by SCOUT and SCOUT-OPT: a prefetcher that
+// exposes per-query internals.
+type statsProvider interface {
+	prefetch.Prefetcher
+	LastStats() core.QueryStats
+}
+
+// collector wraps a SCOUT variant and records its per-query stats, grouped
+// by sequence (a Reset starts a new group).
+type collector struct {
+	inner     statsProvider
+	sequences [][]core.QueryStats
+}
+
+func newCollector(inner statsProvider) *collector { return &collector{inner: inner} }
+
+func (c *collector) Name() string { return c.inner.Name() }
+
+func (c *collector) Observe(obs prefetch.Observation) {
+	c.inner.Observe(obs)
+	n := len(c.sequences)
+	c.sequences[n-1] = append(c.sequences[n-1], c.inner.LastStats())
+}
+
+func (c *collector) Plan() prefetch.Plan { return c.inner.Plan() }
+
+func (c *collector) Reset() {
+	c.inner.Reset()
+	c.sequences = append(c.sequences, nil)
+}
+
+// Fig14 reproduces Figure 14: the query response-time breakdown — graph
+// building, prediction and residual I/O — as dataset density grows.
+func Fig14(env *Env) Result {
+	opt := env.Options()
+	res := Result{
+		ID:     "fig14",
+		Figure: "Figure 14",
+		Title:  "SCOUT time breakdown per sequence (graph building, prediction, residual I/O)",
+		Header: []string{"Objects (≙ paper)", "Graph Build", "Prediction", "Residual I/O", "Graph %", "Prediction %"},
+	}
+	full := opt.objects(1_000_000)
+	for _, f := range []float64{50.0 / 450, 150.0 / 450, 250.0 / 450, 350.0 / 450, 1} {
+		n := int(float64(full) * f)
+		s := env.NeuroWithObjects(n)
+		seqs := s.genSequences(sensitivityParams(), opt.sequences(50), opt.Seed)
+		agg := s.runOne(seqs, s.scout(core.DefaultConfig()))
+		total := agg.GraphBuild + agg.Prediction + agg.Residual
+		perSeq := func(d time.Duration) string {
+			return (d / time.Duration(agg.Sequences)).Round(time.Microsecond).String()
+		}
+		res.AddRow(
+			fmt.Sprintf("%d (≙ %.0fM)", n, f*450),
+			perSeq(agg.GraphBuild),
+			perSeq(agg.Prediction),
+			perSeq(agg.Residual),
+			pct(float64(agg.GraphBuild)/float64(total)),
+			pct(float64(agg.Prediction)/float64(total)),
+		)
+		opt.progress("fig14 n=%d done", n)
+	}
+	res.Notes = append(res.Notes,
+		"paper: graph building stays ≈15% of the total and prediction ≤6%; no relative growth with density",
+		"times are virtual-clock (deterministic); see DESIGN.md §5")
+	return res
+}
+
+// Fig15 reproduces Figure 15: total graph-building time of a 25-query
+// sequence versus the number of objects its queries returned, for SCOUT and
+// SCOUT-OPT (sparse construction builds smaller graphs).
+func Fig15(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "fig15",
+		Figure: "Figure 15",
+		Title:  "Graph building time vs number of objects in sequence results",
+		Header: []string{"Results [objects]", "SCOUT build", "SCOUT-OPT build"},
+	}
+	// The paper varies result size by executing 35 sequences (whose query
+	// volumes differ) and plotting each sequence as one point. Vary volume
+	// across sequences for the same spread.
+	volumes := []float64{20_000, 45_000, 80_000, 125_000, 185_000}
+	count := opt.sequences(35) / len(volumes)
+	if count < 1 {
+		count = 1
+	}
+	type point struct {
+		results  int
+		build    time.Duration
+		buildOpt time.Duration
+	}
+	var pts []point
+	for vi, volume := range volumes {
+		p := sensitivityParams()
+		p.Volume = volume
+		seqs := s.genSequences(p, count, opt.Seed+int64(vi))
+
+		c1 := newCollector(s.scout(core.DefaultConfig()))
+		c2 := newCollector(s.scoutOpt(core.DefaultConfig()))
+		e1 := s.runOne(seqs, c1)
+		e2 := s.runOne(seqs, c2)
+		_, _ = e1, e2
+		for i := range c1.sequences {
+			if len(c1.sequences[i]) == 0 {
+				continue
+			}
+			var pt point
+			for _, q := range c1.sequences[i] {
+				pt.results += q.ResultObjects
+				pt.build += q.GraphBuild
+			}
+			for _, q := range c2.sequences[i] {
+				pt.buildOpt += q.GraphBuild
+			}
+			pts = append(pts, pt)
+		}
+		opt.progress("fig15 vol=%.0f done", volume)
+	}
+	sortPoints(pts, func(a, b point) bool { return a.results < b.results })
+	for _, pt := range pts {
+		res.AddRow(
+			fmt.Sprintf("%d", pt.results),
+			pt.build.Round(time.Microsecond).String(),
+			pt.buildOpt.Round(time.Microsecond).String(),
+		)
+	}
+	res.Notes = append(res.Notes,
+		"paper: SCOUT's build time is linear in result size; SCOUT-OPT scales better because sparse construction only touches candidate pages")
+	return res
+}
+
+// sortPoints is a tiny insertion sort to avoid a sort.Slice closure per call
+// site; point counts are small.
+func sortPoints[T any](pts []T, less func(a, b T) bool) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+// Fig16 reproduces Figure 16: prediction time per result element at each
+// position in a 10-query sequence — iterative candidate pruning shrinks the
+// traversed subgraph as the sequence progresses.
+func Fig16(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "fig16",
+		Figure: "Figure 16",
+		Title:  "Prediction time per result element vs query position in sequence",
+		Header: []string{"Query #", "SCOUT [ns/object]", "SCOUT-OPT [ns/object]"},
+	}
+	p := sensitivityParams()
+	p.Queries = 10
+	seqs := s.genSequences(p, opt.sequences(50), opt.Seed)
+
+	c1 := newCollector(s.scout(core.DefaultConfig()))
+	c2 := newCollector(s.scoutOpt(core.DefaultConfig()))
+	s.runOne(seqs, c1)
+	s.runOne(seqs, c2)
+
+	perQuery := func(c *collector, idx int) float64 {
+		var t time.Duration
+		var objs int
+		for _, seq := range c.sequences {
+			if idx < len(seq) {
+				t += seq[idx].Prediction
+				objs += seq[idx].ResultObjects
+			}
+		}
+		if objs == 0 {
+			return 0
+		}
+		return float64(t.Nanoseconds()) / float64(objs)
+	}
+	for i := 0; i < 10; i++ {
+		res.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", perQuery(c1, i)),
+			fmt.Sprintf("%.1f", perQuery(c2, i)),
+		)
+	}
+	res.Notes = append(res.Notes,
+		"paper: prediction time per element decreases along the sequence (pruning) and SCOUT-OPT is generally cheaper (sparse construction)")
+	return res
+}
+
+// Mem82 reproduces the §8.2 measurement: memory required by the graph and
+// traversal structures relative to the memory of the query results
+// (paper: ≈24% for SCOUT, ≈6% for SCOUT-OPT).
+func Mem82(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "mem82",
+		Figure: "§8.2",
+		Title:  "Graph memory relative to query-result memory",
+		Header: []string{"Variant", "Graph bytes / result bytes"},
+	}
+	seqs := s.genSequences(sensitivityParams(), opt.sequences(35), opt.Seed)
+
+	measure := func(c *collector) float64 {
+		var graph, result int64
+		for _, seq := range c.sequences {
+			for _, q := range seq {
+				graph += q.MemoryBytes
+				result += int64(q.ResultObjects) * objectBytes
+			}
+		}
+		if result == 0 {
+			return 0
+		}
+		return float64(graph) / float64(result)
+	}
+	c1 := newCollector(s.scout(core.DefaultConfig()))
+	s.runOne(seqs, c1)
+	res.AddRow("SCOUT", pct(measure(c1)))
+	c2 := newCollector(s.scoutOpt(core.DefaultConfig()))
+	s.runOne(seqs, c2)
+	res.AddRow("SCOUT-OPT", pct(measure(c2)))
+	res.Notes = append(res.Notes,
+		"paper: ≈24% for SCOUT, ≈6% for SCOUT-OPT (only the candidate subgraph is built)")
+	return res
+}
+
+// objectBytes is the modeled in-memory size of one result object.
+const objectBytes = int64(pagestore.PageSizeBytes / pagestore.DefaultObjectsPerPage)

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scout/internal/core"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// Fig17a reproduces Figure 17(a): prediction accuracy across the lung,
+// arterial-tree and road-network datasets with SMALL queries (5×10⁻⁷ of the
+// dataset volume).
+func Fig17a(env *Env) Result {
+	return fig17(env, "fig17a", "Figure 17(a)", 5e-7,
+		"paper: trajectory extrapolation wins on the artery (smooth structures, small queries, up to 96%); SCOUT still exceeds 90% there and wins elsewhere")
+}
+
+// Fig17b reproduces Figure 17(b): the same comparison with LARGE queries
+// (5×10⁻⁴ of the dataset volume).
+func Fig17b(env *Env) Result {
+	return fig17(env, "fig17b", "Figure 17(b)", 5e-4,
+		"paper: with large queries structures bifurcate and bend inside the query; SCOUT wins on every dataset")
+}
+
+func fig17(env *Env, id, figure string, volumeFrac float64, note string) Result {
+	opt := env.Options()
+	res := Result{
+		ID:     id,
+		Figure: figure,
+		Title:  fmt.Sprintf("Prediction accuracy per dataset (query volume = %.0e × dataset volume)", volumeFrac),
+		Header: []string{"Dataset", "EWMA (λ=0.3)", "Straight Line", "Hilbert", "SCOUT"},
+	}
+	for _, entry := range []struct {
+		name  string
+		setup *Setup
+	}{
+		{"Lung Airway Model", env.Lung()},
+		{"Pig Arterial Tree", env.Artery()},
+		{"North America Road Network", env.Road()},
+	} {
+		s := entry.setup
+		volume := s.DS.Volume() * volumeFrac
+		p := workload.Params{Queries: 25, Volume: volume, WindowRatio: 1}
+		seqs := s.genSequences(p, opt.sequences(50), opt.Seed)
+		row := []string{entry.name}
+		for _, pf := range []prefetch.Prefetcher{
+			s.ewma(volume),
+			s.straightLine(volume),
+			s.hilbert(volume),
+			s.scout(core.DefaultConfig()),
+		} {
+			agg := s.runOne(seqs, pf)
+			row = append(row, pct(agg.HitRate()))
+			opt.progress("%s %s %s done", id, entry.name, pf.Name())
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes, note)
+	return res
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"scout/internal/core"
+	"scout/internal/engine"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// microPrefetchers builds the comparison set of Figures 11 and 12:
+// "SCOUT is compared against the best variants of the related approaches:
+// Straight Line Extrapolation approach, EWMA 0.3 and Hilbert prefetching"
+// (§7.3).
+func microPrefetchers(s *Setup, volume float64, withOpt bool) []prefetch.Prefetcher {
+	ps := []prefetch.Prefetcher{
+		s.ewma(volume),
+		s.straightLine(volume),
+		s.hilbert(volume),
+		s.scout(core.DefaultConfig()),
+	}
+	if withOpt {
+		ps = append(ps, s.scoutOpt(core.DefaultConfig()))
+	}
+	return ps
+}
+
+// runMicro executes one microbenchmark for every prefetcher and returns the
+// aggregates in prefetcher order.
+func runMicro(env *Env, s *Setup, mb workload.Microbenchmark, withOpt bool) []engine.Aggregate {
+	opt := env.Options()
+	seqs := s.genSequences(mb.Params, opt.sequences(30), opt.Seed)
+	var out []engine.Aggregate
+	for _, pf := range microPrefetchers(s, mb.Params.Volume, withOpt) {
+		out = append(out, s.runOne(seqs, pf))
+		opt.progress("%s: %s done", mb.Name, pf.Name())
+	}
+	return out
+}
+
+// Fig11a reproduces Figure 11(a): prediction accuracy of EWMA, Straight
+// Line, Hilbert and SCOUT on the five no-gap microbenchmarks.
+func Fig11a(env *Env) Result {
+	return fig11(env, "fig11a", "Figure 11(a)",
+		"Accuracy for all microbenchmarks (cache hit rate)", false)
+}
+
+// Fig11b reproduces Figure 11(b): speedup versus no prefetching on the same
+// benchmarks.
+func Fig11b(env *Env) Result {
+	return fig11(env, "fig11b", "Figure 11(b)",
+		"Speedup for all microbenchmarks (vs no prefetching)", true)
+}
+
+func fig11(env *Env, id, figure, title string, speedup bool) Result {
+	s := env.Neuro()
+	res := Result{
+		ID:     id,
+		Figure: figure,
+		Title:  title,
+		Header: []string{"Benchmark", "EWMA (λ=0.3)", "Straight Line", "Hilbert", "SCOUT"},
+	}
+	for _, mb := range workload.NoGapMicrobenchmarks() {
+		aggs := runMicro(env, s, mb, false)
+		row := []string{mb.Name}
+		for _, a := range aggs {
+			if speedup {
+				row = append(row, x2(a.Speedup()))
+			} else {
+				row = append(row, pct(a.HitRate()))
+			}
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"paper: SCOUT clearly outperforms the other approaches, exceeding 90% on model building; longer windows and longer sequences help")
+	return res
+}
+
+// Fig12 reproduces Figure 12: accuracy and speedup on the two benchmarks
+// with gaps between queries, adding SCOUT-OPT.
+func Fig12(env *Env) Result {
+	s := env.Neuro()
+	res := Result{
+		ID:     "fig12",
+		Figure: "Figure 12",
+		Title:  "Accuracy and speedup with gaps between queries",
+		Header: []string{"Benchmark", "Metric", "EWMA (λ=0.3)", "Straight Line", "Hilbert", "SCOUT", "SCOUT-OPT"},
+	}
+	for _, mb := range workload.GapMicrobenchmarks() {
+		aggs := runMicro(env, s, mb, true)
+		hit := []string{mb.Name, "hit rate"}
+		spd := []string{mb.Name, "speedup"}
+		for _, a := range aggs {
+			hit = append(hit, pct(a.HitRate()))
+			spd = append(spd, x2(a.Speedup()))
+		}
+		res.AddRow(hit...)
+		res.AddRow(spd...)
+	}
+	res.Notes = append(res.Notes,
+		"paper: with gaps SCOUT is only slightly more accurate than extrapolation (it falls back to a straight line); SCOUT-OPT performs much better via gap traversal",
+		"paper: SCOUT's speedup suffers because prediction becomes an overhead (it must traverse the whole graph)")
+	return res
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// Fig3 reproduces Figure 3: prediction accuracy of the state-of-the-art
+// location-extrapolating approaches as a function of query volume, on the
+// neuroscience dataset with 25-query sequences (§3.3).
+func Fig3(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "fig3",
+		Figure: "Figure 3",
+		Title:  "Prediction accuracy of state-of-the-art approaches (cache hit rate)",
+		Header: []string{"Query Size [µm³]", "EWMA (λ=0.3)", "Straight Line", "Poly Degree 2", "Poly Degree 3"},
+	}
+	for _, volume := range []float64{10_000, 80_000, 150_000, 220_000} {
+		p := workload.Params{Queries: 25, Volume: volume, WindowRatio: 1}
+		seqs := s.genSequences(p, opt.sequences(30), opt.Seed)
+		row := []string{fmt.Sprintf("%.0fk", volume/1000)}
+		for _, pf := range []prefetch.Prefetcher{
+			s.ewma(volume),
+			s.straightLine(volume),
+			prefetch.NewPolynomial(2, volume),
+			prefetch.NewPolynomial(3, volume),
+		} {
+			agg := s.runOne(seqs, pf)
+			row = append(row, pct(agg.HitRate()))
+			opt.progress("fig3 vol=%.0f %s done", volume, pf.Name())
+		}
+		res.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"paper: accuracy drops with volume; polynomials of higher degree oscillate and do worse; none exceeds ~44%")
+	return res
+}
+
+// Fig10 reproduces Figure 10: the microbenchmark parameter table, verbatim
+// from the workload presets.
+func Fig10(_ *Env) Result {
+	res := Result{
+		ID:     "fig10",
+		Figure: "Figure 10",
+		Title:  "Microbenchmark parameters (copied from the paper)",
+		Header: []string{"Benchmark", "Queries", "Volume [µm³]", "Shape", "Gap [µm]", "Window ratio"},
+	}
+	for _, mb := range workload.Microbenchmarks() {
+		res.AddRow(
+			mb.Name,
+			fmt.Sprintf("%d", mb.Params.Queries),
+			fmt.Sprintf("%.0fk", mb.Params.Volume/1000),
+			mb.Params.Shape.String(),
+			fmt.Sprintf("%.0f", mb.Params.Gap),
+			fmt.Sprintf("%.1f", mb.Params.WindowRatio),
+		)
+	}
+	return res
+}

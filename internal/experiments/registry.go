@@ -1,0 +1,48 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one registered, runnable reproduction target.
+type Experiment struct {
+	ID     string
+	Figure string
+	Desc   string
+	Run    func(*Env) Result
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Figure 3", "Accuracy of state-of-the-art approaches vs query volume", Fig3},
+		{"fig10", "Figure 10", "Microbenchmark parameter table", Fig10},
+		{"fig11a", "Figure 11(a)", "Accuracy for all microbenchmarks", Fig11a},
+		{"fig11b", "Figure 11(b)", "Speedup for all microbenchmarks", Fig11b},
+		{"fig12", "Figure 12", "Accuracy and speedup with gaps", Fig12},
+		{"fig13a", "Figure 13(a)", "Accuracy vs query volume", Fig13a},
+		{"fig13b", "Figure 13(b)", "Accuracy vs dataset density", Fig13b},
+		{"fig13c", "Figure 13(c)", "Accuracy vs sequence length", Fig13c},
+		{"fig13d", "Figure 13(d)", "Accuracy vs prefetch window ratio", Fig13d},
+		{"fig13e", "Figure 13(e)", "Accuracy vs grid resolution", Fig13e},
+		{"fig13f", "Figure 13(f)", "Accuracy vs gap distance (SCOUT vs SCOUT-OPT)", Fig13f},
+		{"fig14", "Figure 14", "Time breakdown vs dataset density", Fig14},
+		{"fig15", "Figure 15", "Graph building time vs result size", Fig15},
+		{"fig16", "Figure 16", "Prediction time per element vs query position", Fig16},
+		{"fig17a", "Figure 17(a)", "Accuracy across datasets, small queries", Fig17a},
+		{"fig17b", "Figure 17(b)", "Accuracy across datasets, large queries", Fig17b},
+		{"mem82", "§8.2", "Graph memory relative to result memory", Mem82},
+		{"ablation_strategy", "§5.2", "Deep vs broad prefetching (ablation)", AblationStrategy},
+		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning},
+		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans},
+		{"ablation_incremental", "§5.1", "Incremental ladder vs one-shot (ablation)", AblationIncremental},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

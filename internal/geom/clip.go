@@ -1,0 +1,48 @@
+package geom
+
+// ClipSegment clips a segment against the frustum's six planes and returns
+// the parameter range [tmin, tmax] ⊆ [0,1] inside the frustum, with ok false
+// when the segment misses it entirely.
+func (f Frustum) ClipSegment(s Segment) (tmin, tmax float64, ok bool) {
+	tmin, tmax = 0, 1
+	d := s.Dir()
+	for _, pl := range f.planes {
+		da := pl.signedDist(s.A)
+		dd := pl.n.Dot(d)
+		if dd == 0 {
+			if da < 0 {
+				return 0, 0, false // parallel and outside this half-space
+			}
+			continue
+		}
+		t := -da / dd
+		if dd > 0 { // entering the half-space at t
+			if t > tmin {
+				tmin = t
+			}
+		} else { // leaving the half-space at t
+			if t < tmax {
+				tmax = t
+			}
+		}
+		if tmin > tmax {
+			return 0, 0, false
+		}
+	}
+	return tmin, tmax, true
+}
+
+// ClipSegmentRegion clips a segment against any supported region type,
+// returning the inside parameter range. Boxes use the slab test, frusta the
+// plane test.
+func ClipSegmentRegion(r Region, s Segment) (tmin, tmax float64, ok bool) {
+	switch rr := r.(type) {
+	case AABB:
+		return s.ClipAABB(rr)
+	case Frustum:
+		return rr.ClipSegment(s)
+	default:
+		// Unknown region: fall back to its bounding box (conservative).
+		return s.ClipAABB(r.Bounds())
+	}
+}

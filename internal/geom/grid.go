@@ -1,0 +1,208 @@
+package geom
+
+import "math"
+
+// Grid partitions a region of space into equi-volume axis-aligned cells. It
+// is the substrate of SCOUT's grid hashing (paper §4.2) and of the static
+// Layered prefetcher.
+type Grid struct {
+	Bounds AABB
+	// Nx, Ny, Nz are the cell counts along each axis (all ≥ 1).
+	Nx, Ny, Nz int
+	cell       Vec3 // cell side lengths
+}
+
+// NewGrid creates a grid over bounds with the given per-axis cell counts.
+func NewGrid(bounds AABB, nx, ny, nz int) *Grid {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("geom: grid cell counts must be >= 1")
+	}
+	if bounds.IsEmpty() {
+		panic("geom: grid over empty bounds")
+	}
+	s := bounds.Size()
+	return &Grid{
+		Bounds: bounds,
+		Nx:     nx, Ny: ny, Nz: nz,
+		cell: Vec3{s.X / float64(nx), s.Y / float64(ny), s.Z / float64(nz)},
+	}
+}
+
+// NewGridWithCells creates a grid over bounds with approximately the given
+// total number of cells, split as evenly as possible across the axes. This
+// is how the paper parameterizes grid resolution (Figure 13e sweeps the
+// total number of grid cells: 8, 64, 512, 4096, 32768).
+func NewGridWithCells(bounds AABB, totalCells int) *Grid {
+	if totalCells < 1 {
+		totalCells = 1
+	}
+	n := int(math.Round(math.Cbrt(float64(totalCells))))
+	if n < 1 {
+		n = 1
+	}
+	return NewGrid(bounds, n, n, n)
+}
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int { return g.Nx * g.Ny * g.Nz }
+
+// CellSize returns the side lengths of one cell.
+func (g *Grid) CellSize() Vec3 { return g.cell }
+
+// CellIndex returns the flattened index of the cell containing p, clamping
+// points on or outside the boundary into the nearest cell.
+func (g *Grid) CellIndex(p Vec3) int {
+	i, j, k := g.CellCoords(p)
+	return g.Flatten(i, j, k)
+}
+
+// CellCoords returns the integer cell coordinates of p, clamped into range.
+func (g *Grid) CellCoords(p Vec3) (i, j, k int) {
+	i = clampInt(int((p.X-g.Bounds.Min.X)/g.cell.X), 0, g.Nx-1)
+	j = clampInt(int((p.Y-g.Bounds.Min.Y)/g.cell.Y), 0, g.Ny-1)
+	k = clampInt(int((p.Z-g.Bounds.Min.Z)/g.cell.Z), 0, g.Nz-1)
+	return i, j, k
+}
+
+// Flatten converts 3D cell coordinates to a flat index.
+func (g *Grid) Flatten(i, j, k int) int {
+	return (k*g.Ny+j)*g.Nx + i
+}
+
+// Unflatten converts a flat index back to 3D cell coordinates.
+func (g *Grid) Unflatten(idx int) (i, j, k int) {
+	i = idx % g.Nx
+	j = (idx / g.Nx) % g.Ny
+	k = idx / (g.Nx * g.Ny)
+	return i, j, k
+}
+
+// CellBounds returns the world-space box of the given cell.
+func (g *Grid) CellBounds(i, j, k int) AABB {
+	min := Vec3{
+		X: g.Bounds.Min.X + float64(i)*g.cell.X,
+		Y: g.Bounds.Min.Y + float64(j)*g.cell.Y,
+		Z: g.Bounds.Min.Z + float64(k)*g.cell.Z,
+	}
+	return AABB{Min: min, Max: min.Add(g.cell)}
+}
+
+// SegmentCells appends to dst the flat indices of every cell the segment
+// passes through, using a 3D digital differential analyzer (Amanatides &
+// Woo, "A Fast Voxel Traversal Algorithm for Ray Tracing"). The segment is
+// clipped to the grid bounds first; a segment entirely outside contributes
+// nothing. Cells are appended in traversal order without duplicates.
+func (g *Grid) SegmentCells(s Segment, dst []int) []int {
+	tmin, tmax, ok := s.ClipAABB(g.Bounds)
+	if !ok {
+		return dst
+	}
+	// Nudge inward so the start point is strictly inside.
+	const eps = 1e-9
+	start := s.At(math.Min(tmin+eps, 1))
+	i, j, k := g.CellCoords(start)
+
+	d := s.Dir().Scale(tmax - tmin) // direction over the clipped extent
+	stepX, tMaxX, tDeltaX := ddaAxis(start.X, d.X, g.Bounds.Min.X, g.cell.X, i)
+	stepY, tMaxY, tDeltaY := ddaAxis(start.Y, d.Y, g.Bounds.Min.Y, g.cell.Y, j)
+	stepZ, tMaxZ, tDeltaZ := ddaAxis(start.Z, d.Z, g.Bounds.Min.Z, g.cell.Z, k)
+
+	for {
+		dst = append(dst, g.Flatten(i, j, k))
+		// Advance along the axis whose boundary is crossed first.
+		if tMaxX <= tMaxY && tMaxX <= tMaxZ {
+			if tMaxX > 1 {
+				return dst
+			}
+			i += stepX
+			if i < 0 || i >= g.Nx {
+				return dst
+			}
+			tMaxX += tDeltaX
+		} else if tMaxY <= tMaxZ {
+			if tMaxY > 1 {
+				return dst
+			}
+			j += stepY
+			if j < 0 || j >= g.Ny {
+				return dst
+			}
+			tMaxY += tDeltaY
+		} else {
+			if tMaxZ > 1 {
+				return dst
+			}
+			k += stepZ
+			if k < 0 || k >= g.Nz {
+				return dst
+			}
+			tMaxZ += tDeltaZ
+		}
+	}
+}
+
+// ddaAxis computes the per-axis DDA stepping state: the step direction, the
+// parameter t at which the first cell boundary is crossed, and the parameter
+// increment per cell.
+func ddaAxis(origin, dir, gridMin, cellSize float64, cell int) (step int, tMax, tDelta float64) {
+	if dir > 0 {
+		boundary := gridMin + float64(cell+1)*cellSize
+		return 1, (boundary - origin) / dir, cellSize / dir
+	}
+	if dir < 0 {
+		boundary := gridMin + float64(cell)*cellSize
+		return -1, (boundary - origin) / dir, -cellSize / dir
+	}
+	return 0, math.Inf(1), math.Inf(1)
+}
+
+// BoxCells appends to dst the flat indices of every cell overlapping box b
+// (clipped to the grid bounds).
+func (g *Grid) BoxCells(b AABB, dst []int) []int {
+	bb := b.Intersection(g.Bounds)
+	if bb.IsEmpty() {
+		return dst
+	}
+	i0, j0, k0 := g.CellCoords(bb.Min)
+	i1, j1, k1 := g.CellCoords(bb.Max)
+	for k := k0; k <= k1; k++ {
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				dst = append(dst, g.Flatten(i, j, k))
+			}
+		}
+	}
+	return dst
+}
+
+// NeighborCells appends to dst the flat indices of the up-to-26 cells
+// surrounding the cell containing p. Used by the Layered prefetcher
+// ("prefetches all surrounding grid cells", paper §2.1).
+func (g *Grid) NeighborCells(p Vec3, dst []int) []int {
+	ci, cj, ck := g.CellCoords(p)
+	for dk := -1; dk <= 1; dk++ {
+		for dj := -1; dj <= 1; dj++ {
+			for di := -1; di <= 1; di++ {
+				if di == 0 && dj == 0 && dk == 0 {
+					continue
+				}
+				i, j, k := ci+di, cj+dj, ck+dk
+				if i < 0 || i >= g.Nx || j < 0 || j >= g.Ny || k < 0 || k >= g.Nz {
+					continue
+				}
+				dst = append(dst, g.Flatten(i, j, k))
+			}
+		}
+	}
+	return dst
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 20, 30)), 2, 4, 6)
+	if g.NumCells() != 48 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+	if !vecAlmostEq(g.CellSize(), V(5, 5, 5), 1e-12) {
+		t.Errorf("CellSize = %v", g.CellSize())
+	}
+}
+
+func TestGridWithCells(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	for _, want := range []int{8, 64, 512, 4096, 32768} {
+		g := NewGridWithCells(b, want)
+		if g.NumCells() != want {
+			t.Errorf("NewGridWithCells(%d).NumCells = %d", want, g.NumCells())
+		}
+	}
+	if g := NewGridWithCells(b, 0); g.NumCells() != 1 {
+		t.Errorf("zero cells should clamp to 1, got %d", g.NumCells())
+	}
+}
+
+func TestGridFlattenRoundTrip(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(1, 1, 1)), 3, 5, 7)
+	for k := 0; k < 7; k++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 3; i++ {
+				idx := g.Flatten(i, j, k)
+				gi, gj, gk := g.Unflatten(idx)
+				if gi != i || gj != j || gk != k {
+					t.Fatalf("(%d,%d,%d) → %d → (%d,%d,%d)", i, j, k, idx, gi, gj, gk)
+				}
+			}
+		}
+	}
+}
+
+func TestGridCellIndexClamps(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	if got := g.CellIndex(V(-5, -5, -5)); got != g.Flatten(0, 0, 0) {
+		t.Errorf("below-min index = %d", got)
+	}
+	if got := g.CellIndex(V(50, 50, 50)); got != g.Flatten(9, 9, 9) {
+		t.Errorf("above-max index = %d", got)
+	}
+	// Exact max boundary clamps into the last cell.
+	if got := g.CellIndex(V(10, 10, 10)); got != g.Flatten(9, 9, 9) {
+		t.Errorf("max boundary index = %d", got)
+	}
+}
+
+func TestGridCellBounds(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	b := g.CellBounds(3, 4, 5)
+	want := Box(V(3, 4, 5), V(4, 5, 6))
+	if !vecAlmostEq(b.Min, want.Min, 1e-12) || !vecAlmostEq(b.Max, want.Max, 1e-12) {
+		t.Errorf("CellBounds = %v, want %v", b, want)
+	}
+	// Every cell's bounds center maps back to the cell.
+	for i := 0; i < 10; i++ {
+		cb := g.CellBounds(i, i%10, (i*3)%10)
+		if g.CellIndex(cb.Center()) != g.Flatten(i, i%10, (i*3)%10) {
+			t.Errorf("center of cell (%d,...) maps elsewhere", i)
+		}
+	}
+}
+
+func TestGridSegmentCellsAxisAligned(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	cells := g.SegmentCells(Seg(V(0.5, 0.5, 0.5), V(9.5, 0.5, 0.5)), nil)
+	if len(cells) != 10 {
+		t.Fatalf("axis-aligned segment crossed %d cells, want 10", len(cells))
+	}
+	for n, idx := range cells {
+		i, j, k := g.Unflatten(idx)
+		if i != n || j != 0 || k != 0 {
+			t.Errorf("cell %d = (%d,%d,%d)", n, i, j, k)
+		}
+	}
+}
+
+func TestGridSegmentCellsDiagonal(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	cells := g.SegmentCells(Seg(V(0.5, 0.5, 0.5), V(9.5, 9.5, 9.5)), nil)
+	// A diagonal walk visits between 10 and 28 cells (3 per layer at most).
+	if len(cells) < 10 || len(cells) > 28 {
+		t.Fatalf("diagonal segment crossed %d cells", len(cells))
+	}
+	// First and last cells must contain the endpoints.
+	i, j, k := g.Unflatten(cells[0])
+	if !g.CellBounds(i, j, k).Contains(V(0.5, 0.5, 0.5)) {
+		t.Error("first cell does not contain segment start")
+	}
+	i, j, k = g.Unflatten(cells[len(cells)-1])
+	if !g.CellBounds(i, j, k).Contains(V(9.5, 9.5, 9.5)) {
+		t.Error("last cell does not contain segment end")
+	}
+}
+
+func TestGridSegmentCellsOutside(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 4, 4, 4)
+	if cells := g.SegmentCells(Seg(V(20, 20, 20), V(30, 30, 30)), nil); len(cells) != 0 {
+		t.Errorf("outside segment mapped to %d cells", len(cells))
+	}
+}
+
+func TestGridSegmentCellsZeroLength(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 4, 4, 4)
+	cells := g.SegmentCells(Seg(V(5, 5, 5), V(5, 5, 5)), nil)
+	if len(cells) != 1 {
+		t.Fatalf("point segment mapped to %d cells, want 1", len(cells))
+	}
+}
+
+// Property: the set of DDA cells contains every cell hit by dense sampling
+// of the segment. (DDA may include a boundary-grazing extra cell; sampling
+// may miss corner cells, so we check superset, not equality.)
+func TestGridSegmentCellsCoverSamples(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 8, 8, 8)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		s := Seg(randVec(rng, 10), randVec(rng, 10))
+		got := map[int]bool{}
+		for _, c := range g.SegmentCells(s, nil) {
+			got[c] = true
+		}
+		const n = 200
+		for i := 0; i <= n; i++ {
+			p := s.At(float64(i) / n)
+			// Skip points exactly on cell boundaries (ambiguous ownership).
+			if onBoundary(g, p) {
+				continue
+			}
+			if !got[g.CellIndex(p)] {
+				t.Fatalf("sampled cell missing: seg=%v p=%v", s, p)
+			}
+		}
+	}
+}
+
+func onBoundary(g *Grid, p Vec3) bool {
+	const eps = 1e-6
+	cs := g.CellSize()
+	for axis := 0; axis < 3; axis++ {
+		rel := (p.Component(axis) - g.Bounds.Min.Component(axis)) / cs.Component(axis)
+		frac := rel - float64(int(rel))
+		if frac < eps || frac > 1-eps {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGridBoxCells(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	cells := g.BoxCells(Box(V(2.5, 2.5, 2.5), V(4.5, 4.5, 4.5)), nil)
+	if len(cells) != 27 { // cells 2,3,4 on each axis
+		t.Fatalf("box mapped to %d cells, want 27", len(cells))
+	}
+	// Box outside the grid maps to nothing.
+	if c := g.BoxCells(Box(V(20, 20, 20), V(30, 30, 30)), nil); len(c) != 0 {
+		t.Errorf("outside box mapped to %d cells", len(c))
+	}
+}
+
+func TestGridNeighborCells(t *testing.T) {
+	g := NewGrid(Box(V(0, 0, 0), V(10, 10, 10)), 10, 10, 10)
+	if n := g.NeighborCells(V(5, 5, 5), nil); len(n) != 26 {
+		t.Errorf("interior neighbors = %d, want 26", len(n))
+	}
+	if n := g.NeighborCells(V(0.5, 0.5, 0.5), nil); len(n) != 7 {
+		t.Errorf("corner neighbors = %d, want 7", len(n))
+	}
+	if n := g.NeighborCells(V(5, 0.5, 0.5), nil); len(n) != 11 {
+		t.Errorf("edge neighbors = %d, want 11", len(n))
+	}
+}

@@ -1,0 +1,15 @@
+package pagestore
+
+import "scout/internal/geom"
+
+// Matches reports whether object o belongs to the result of a range query
+// with the given region. For axis-aligned boxes the test is exact on the
+// object's simplified geometry (segment inflated by radius); for other
+// regions (frusta) it is conservative on the object's bounding box, which is
+// the standard behaviour of frustum culling.
+func Matches(r geom.Region, o Object) bool {
+	if b, ok := r.(geom.AABB); ok {
+		return o.IntersectsBox(b)
+	}
+	return r.IntersectsAABB(o.Bounds())
+}

@@ -1,0 +1,122 @@
+// Package prefetch defines the prefetcher contract shared by SCOUT and the
+// baselines, plus the baseline prefetchers of the paper's related work:
+// Straight-Line extrapolation, Polynomial extrapolation, EWMA, Hilbert
+// prefetching and the Layered (static grid) approach.
+//
+// A prefetcher never touches the disk or the cache itself. After every user
+// query it receives an Observation (the query's location and — for
+// content-aware approaches like SCOUT — its result), and returns a Plan: a
+// prioritized list of prefetch regions. The engine executes the plan during
+// the prefetch window, reading pages in plan order until the window closes,
+// which realizes the paper's incremental prefetching (§5.1): data most
+// likely to be needed is requested first, and an early end of the window
+// cuts the tail, not the head.
+package prefetch
+
+import (
+	"math"
+	"time"
+
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+// Index is the read-only view of a spatial index a prefetcher may use to
+// translate regions into pages. Both the R-tree and the FLAT index satisfy
+// it.
+type Index interface {
+	QueryPages(r geom.Region, dst []pagestore.PageID) []pagestore.PageID
+}
+
+// Observation describes one completed user query.
+type Observation struct {
+	// Seq is the query's position in its sequence, starting at 0.
+	Seq int
+	// Region is the query region; Center its centroid on the user's path.
+	Region geom.Region
+	Center geom.Vec3
+	// Result lists the matching objects — the query *content*. Baselines
+	// ignore it; SCOUT is defined by using it.
+	Result []pagestore.ObjectID
+	// Pages lists the pages the query touched.
+	Pages []pagestore.PageID
+}
+
+// Request is one prefetch query of a plan.
+type Request struct {
+	Region geom.Region
+}
+
+// Plan is what a prefetcher wants done during the coming prefetch window.
+type Plan struct {
+	// Requests are executed in order until the window closes.
+	Requests []Request
+	// GraphBuild is the modeled CPU cost of building this query's graph
+	// (zero for baselines). It is interleaved with result retrieval (§4)
+	// and therefore reported in breakdowns but not charged to the window.
+	GraphBuild time.Duration
+	// Prediction is the modeled CPU cost of computing the prediction. It is
+	// charged against the prefetch window before any prefetch I/O (except
+	// for index-assisted variants that hide it; see core.ScoutOpt).
+	Prediction time.Duration
+	// PredictionHidden marks prediction cost as overlapped with result
+	// retrieval (SCOUT-OPT's sparse graph construction, §6.2): reported in
+	// breakdowns but not subtracted from the window.
+	PredictionHidden bool
+	// TraversalPages are pages to read before the requests, regardless of
+	// region queries — SCOUT-OPT's gap traversal I/O (§6.3). They are
+	// charged as window I/O and loaded into the cache.
+	TraversalPages []pagestore.PageID
+}
+
+// Prefetcher is implemented by every prefetching approach.
+type Prefetcher interface {
+	// Name identifies the approach in experiment tables.
+	Name() string
+	// Observe is called once per completed user query, in sequence order.
+	Observe(obs Observation)
+	// Plan returns the prefetch plan for the window after the last
+	// observed query.
+	Plan() Plan
+	// Reset drops all sequence-local state; called between sequences.
+	Reset()
+}
+
+// IncrementalRequests builds the growing prefetch-query ladder of §5.1 and
+// Figure 6: the first region is small and anchored at the expected entry
+// point E of the next query, and each subsequent region grows from that
+// anchor along the extrapolated axis until it covers (slightly more than)
+// one query volume. Executing them in order prioritizes data closest to E —
+// "prefetching data far away from E is more likely to be prefetched
+// unnecessarily" — and an early end of the window cuts only the far tail.
+// Pages fetched by earlier rungs stay cached, so rung overlap is free.
+//
+// anchor is the expected entry point E of the next query, dir the (unit)
+// extrapolation axis, volume the user's query volume, and steps the ladder
+// length.
+func IncrementalRequests(anchor, dir geom.Vec3, volume float64, steps int) []Request {
+	if steps < 1 {
+		steps = 1
+	}
+	side := math.Cbrt(volume)
+	reqs := make([]Request, 0, steps)
+	for i := 1; i <= steps; i++ {
+		f := float64(i) / float64(steps)
+		// The region extends from just behind the anchor to up to 1.15
+		// sides past it; the cross-section grows from 0.6 to 1.1 sides.
+		length := side * (0.25 + 0.9*f)
+		cross := side * (0.6 + 0.5*f)
+		c := anchor.Add(dir.Scale(length/2 - side*0.1))
+		half := dir.Abs().Scale(length / 2).
+			Add(crossExtent(dir, cross/2))
+		reqs = append(reqs, Request{Region: geom.AABB{Min: c.Sub(half), Max: c.Add(half)}})
+	}
+	return reqs
+}
+
+// crossExtent returns the half-extents perpendicular to dir: cross in every
+// axis, attenuated along dir so the box is elongated in the walk direction.
+func crossExtent(dir geom.Vec3, cross float64) geom.Vec3 {
+	a := dir.Abs()
+	return geom.V(cross*(1-a.X), cross*(1-a.Y), cross*(1-a.Z))
+}

@@ -1,0 +1,59 @@
+package rtree
+
+import (
+	"testing"
+
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+func BenchmarkSTROrder100k(b *testing.B) {
+	objs := uniformObjects(100_000, 500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		STROrder(objs, pagestore.DefaultObjectsPerPage)
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := pagestore.NewStore(uniformObjects(100_000, 500, 1))
+		b.StartTimer()
+		if _, err := BulkLoad(store, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPages(b *testing.B) {
+	store := pagestore.NewStore(uniformObjects(200_000, 500, 2))
+	tree, err := BulkLoad(store, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := geom.CubeAt(geom.V(250, 250, 250), 80_000)
+	var buf []pagestore.PageID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.QueryPages(q, buf[:0])
+	}
+}
+
+func BenchmarkQueryObjects(b *testing.B) {
+	store := pagestore.NewStore(uniformObjects(200_000, 500, 2))
+	tree, err := BulkLoad(store, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := geom.CubeAt(geom.V(250, 250, 250), 80_000)
+	var buf []pagestore.ObjectID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.QueryObjects(q, buf[:0])
+	}
+}

@@ -1,0 +1,225 @@
+// Package rtree implements the STR bulk-loaded R-tree the paper couples
+// SCOUT with ("the widely used R-Tree (STR Bulkloaded) spatial index for
+// accessing data", §7.1; Leutenegger et al., ICDE 1997).
+//
+// Bulk loading does double duty: the Sort-Tile-Recursive order it computes
+// becomes the physical storage order of the pagestore (fill factor 100%, 87
+// objects per leaf page, as in §7.1), and the leaf pages become the R-tree's
+// leaf level. Inner nodes are modeled as memory-resident — the paper charges
+// I/O for data pages, and SCOUT treats index traversal cost as CPU time.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+// Tree is an immutable STR bulk-loaded R-tree over a paginated store. Safe
+// for concurrent readers.
+type Tree struct {
+	store  *pagestore.Store
+	root   *node
+	height int
+	fanout int
+	// nodesVisited counts inner+leaf node inspections across all queries,
+	// for cost accounting experiments. Guarded by nothing: reset between
+	// single-threaded experiment runs.
+	nodesVisited int64
+}
+
+type node struct {
+	mbr      geom.AABB
+	children []*node          // nil at the leaf level
+	page     pagestore.PageID // valid at the leaf level only
+}
+
+// Config controls bulk loading.
+type Config struct {
+	// ObjectsPerPage is the leaf fanout; defaults to
+	// pagestore.DefaultObjectsPerPage (87, per the paper).
+	ObjectsPerPage int
+	// Fanout is the inner-node fanout; defaults to ObjectsPerPage, matching
+	// the paper's uniform fanout.
+	Fanout int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ObjectsPerPage <= 0 {
+		c.ObjectsPerPage = pagestore.DefaultObjectsPerPage
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = c.ObjectsPerPage
+	}
+	return c
+}
+
+// BulkLoad paginates the store in Sort-Tile-Recursive order and builds an
+// R-tree over the resulting pages. It must be called exactly once per store,
+// before any disks or other indexes are created over it.
+func BulkLoad(store *pagestore.Store, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	order := STROrder(store.Objects(), cfg.ObjectsPerPage)
+	if err := store.Paginate(order, cfg.ObjectsPerPage); err != nil {
+		return nil, err
+	}
+	return Build(store, cfg)
+}
+
+// Build constructs an R-tree over an already-paginated store, reusing its
+// page assignment. FLAT and the R-tree share pages this way, so hit-rate
+// comparisons between SCOUT and SCOUT-OPT see identical physical layouts.
+func Build(store *pagestore.Store, cfg Config) (*Tree, error) {
+	cfg = cfg.withDefaults()
+	t := &Tree{store: store, fanout: cfg.Fanout}
+
+	level := make([]*node, store.NumPages())
+	for p := 0; p < store.NumPages(); p++ {
+		level[p] = &node{
+			mbr:  store.PageBounds(pagestore.PageID(p)),
+			page: pagestore.PageID(p),
+		}
+	}
+	t.height = 1
+	// Pack consecutive runs of children into parents. Children are already
+	// in STR order, so consecutive grouping preserves spatial locality —
+	// this is the standard second phase of STR packing.
+	for len(level) > 1 {
+		parents := make([]*node, 0, (len(level)+cfg.Fanout-1)/cfg.Fanout)
+		for start := 0; start < len(level); start += cfg.Fanout {
+			end := start + cfg.Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			mbr := geom.EmptyAABB()
+			for _, c := range level[start:end] {
+				mbr = mbr.Union(c.mbr)
+			}
+			parents = append(parents, &node{mbr: mbr, children: level[start:end]})
+		}
+		level = parents
+		t.height++
+	}
+	if len(level) == 1 {
+		t.root = level[0]
+	}
+	return t, nil
+}
+
+// STROrder computes the Sort-Tile-Recursive storage order of the objects by
+// centroid: sort by x, cut into vertical slabs, sort each slab by y, cut
+// into runs, sort each run by z. Objects that end up consecutive are
+// spatially close, which is what gives STR-packed trees their tight leaves.
+func STROrder(objects []pagestore.Object, perPage int) []pagestore.ObjectID {
+	n := len(objects)
+	order := make([]pagestore.ObjectID, n)
+	for i := range order {
+		order[i] = pagestore.ObjectID(i)
+	}
+	if n == 0 {
+		return order
+	}
+	cent := make([]geom.Vec3, n)
+	for i, o := range objects {
+		cent[i] = o.Centroid()
+	}
+
+	pages := (n + perPage - 1) / perPage
+	s := int(math.Ceil(math.Cbrt(float64(pages)))) // slabs per axis
+
+	// Ties are broken by the remaining axes so that degenerate data (planar
+	// road networks, collinear chains) still gets a deterministic,
+	// locality-preserving order instead of sort.Slice's arbitrary one.
+	less := func(p, q geom.Vec3, axes [3]int) bool {
+		for _, ax := range axes {
+			a, b := p.Component(ax), q.Component(ax)
+			if a != b {
+				return a < b
+			}
+		}
+		return false
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return less(cent[order[a]], cent[order[b]], [3]int{0, 1, 2})
+	})
+	slabSize := (n + s - 1) / s
+	for xs := 0; xs < n; xs += slabSize {
+		xe := min(xs+slabSize, n)
+		slab := order[xs:xe]
+		sort.Slice(slab, func(a, b int) bool {
+			return less(cent[slab[a]], cent[slab[b]], [3]int{1, 2, 0})
+		})
+		runSize := (len(slab) + s - 1) / s
+		for ys := 0; ys < len(slab); ys += runSize {
+			ye := min(ys+runSize, len(slab))
+			run := slab[ys:ye]
+			sort.Slice(run, func(a, b int) bool {
+				return less(cent[run[a]], cent[run[b]], [3]int{2, 0, 1})
+			})
+		}
+	}
+	return order
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Store returns the store this tree indexes.
+func (t *Tree) Store() *pagestore.Store { return t.store }
+
+// Height returns the number of levels, leaves included.
+func (t *Tree) Height() int { return t.height }
+
+// QueryPages appends to dst the IDs of all leaf pages whose MBR intersects
+// the region — the pages a real system would read from disk to answer the
+// query.
+func (t *Tree) QueryPages(r geom.Region, dst []pagestore.PageID) []pagestore.PageID {
+	if t.root == nil {
+		return dst
+	}
+	rb := r.Bounds()
+	stack := make([]*node, 0, t.height*t.fanout)
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.nodesVisited++
+		if !nd.mbr.Intersects(rb) || !r.IntersectsAABB(nd.mbr) {
+			continue
+		}
+		if nd.children == nil {
+			dst = append(dst, nd.page)
+			continue
+		}
+		for _, c := range nd.children {
+			stack = append(stack, c)
+		}
+	}
+	return dst
+}
+
+// QueryObjects appends to dst the IDs of all objects matching the region,
+// by filtering the objects of every candidate page.
+func (t *Tree) QueryObjects(r geom.Region, dst []pagestore.ObjectID) []pagestore.ObjectID {
+	pages := t.QueryPages(r, nil)
+	for _, p := range pages {
+		for _, id := range t.store.PageObjects(p) {
+			if pagestore.Matches(r, t.store.Object(id)) {
+				dst = append(dst, id)
+			}
+		}
+	}
+	return dst
+}
+
+// NodesVisited returns the cumulative number of nodes inspected by queries.
+func (t *Tree) NodesVisited() int64 { return t.nodesVisited }
+
+// ResetNodesVisited zeroes the node-visit counter.
+func (t *Tree) ResetNodesVisited() { t.nodesVisited = 0 }

@@ -1,0 +1,75 @@
+package sgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+// benchWorld builds a query-result-like object set: tortuous chains inside
+// a query-sized box, mirroring what SCOUT graphs per query.
+func benchWorld(n int) (*pagestore.Store, geom.AABB, []pagestore.ObjectID) {
+	rng := rand.New(rand.NewSource(5))
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(43, 43, 43))
+	var objs []pagestore.Object
+	for len(objs) < n {
+		pos := geom.V(rng.Float64()*43, rng.Float64()*43, rng.Float64()*43)
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize()
+		for s := 0; s < 20 && len(objs) < n; s++ {
+			next := pos.Add(dir.Scale(2))
+			objs = append(objs, pagestore.Object{Seg: geom.Seg(pos, next), Radius: 0.4})
+			pos = next
+		}
+	}
+	store := pagestore.NewStore(objs)
+	ids := make([]pagestore.ObjectID, n)
+	for i := range ids {
+		ids[i] = pagestore.ObjectID(i)
+	}
+	return store, bounds, ids
+}
+
+func BenchmarkGraphBuild1k(b *testing.B) {
+	store, bounds, ids := benchWorld(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(store, bounds, 32768, ids)
+	}
+}
+
+func BenchmarkGraphBuildCoarse1k(b *testing.B) {
+	store, bounds, ids := benchWorld(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(store, bounds, 512, ids)
+	}
+}
+
+func BenchmarkReachableCrossings(b *testing.B) {
+	store, bounds, ids := benchWorld(1000)
+	g := Build(store, bounds, 32768, ids)
+	crossings := g.Crossings(bounds)
+	starts := make([]int32, 0, len(crossings))
+	for _, c := range crossings {
+		starts = append(starts, c.Vertex)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ReachableCrossings(starts, bounds)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	store, bounds, ids := benchWorld(1000)
+	g := Build(store, bounds, 32768, ids)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Components()
+	}
+}

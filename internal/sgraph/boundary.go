@@ -1,0 +1,198 @@
+package sgraph
+
+import (
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+// Boundary describes one crossing of the query-region boundary by a
+// structure: the vertex whose object straddles the boundary, the crossing
+// point, and the structure's direction there, always oriented OUTWARD (from
+// inside the region toward outside). Orienting outward makes crossings
+// direction-agnostic: whether the dataset stored the underlying segments
+// tip-to-root or root-to-tip, and whichever way the user walks, the crossing
+// on the far side of the walk points where the user is heading.
+//
+// Candidate pruning (§4.3) matches the crossings of query n against the
+// previous query's predicted exits; prediction (§4.4) extrapolates the
+// candidates' remaining crossings outward.
+type Boundary struct {
+	Vertex int32
+	Point  geom.Vec3
+	Dir    geom.Vec3
+}
+
+// Structure is one spatial structure inside a query result: a connected
+// component of the graph together with its boundary crossings. The guiding
+// structure the user follows is one of these (§4.1).
+type Structure struct {
+	Verts     []int32
+	Crossings []Boundary
+}
+
+// Structures returns every connected component annotated with its boundary
+// crossings relative to the region box.
+func (g *Graph) Structures(region geom.Region) []Structure {
+	comps := g.Components()
+	out := make([]Structure, len(comps))
+	for i, verts := range comps {
+		out[i].Verts = verts
+		for _, v := range verts {
+			out[i].Crossings = append(out[i].Crossings, g.crossingsOf(v, region)...)
+		}
+	}
+	return out
+}
+
+// crossingsOf computes the outward-oriented boundary crossings of vertex v's
+// segment with the region (box or frustum): zero, one (one endpoint
+// outside), or two (the segment threads through the region).
+func (g *Graph) crossingsOf(v int32, region geom.Region) []Boundary {
+	s := g.store.Object(g.ids[v]).Seg
+	inA := region.ContainsPoint(s.A)
+	inB := region.ContainsPoint(s.B)
+	if inA && inB {
+		return nil
+	}
+	tmin, tmax, ok := geom.ClipSegmentRegion(region, s)
+	if !ok {
+		return nil
+	}
+	var out []Boundary
+	dir := s.Dir().Normalize()
+	if !inA { // A is outside: the crossing at the entry point heads A-ward
+		out = append(out, Boundary{Vertex: v, Point: s.At(tmin), Dir: dir.Neg()})
+	}
+	if !inB { // B is outside: the crossing at the exit point heads B-ward
+		out = append(out, Boundary{Vertex: v, Point: s.At(tmax), Dir: dir})
+	}
+	return out
+}
+
+// VertexCrossings returns the outward-oriented boundary crossings of one
+// vertex. Incremental builders use it to examine only newly added vertices
+// instead of rescanning the whole graph.
+func (g *Graph) VertexCrossings(v int32, region geom.Region) []Boundary {
+	return g.crossingsOf(v, region)
+}
+
+// Crossings returns every boundary crossing in the graph relative to the
+// region, outward-oriented.
+func (g *Graph) Crossings(region geom.Region) []Boundary {
+	var out []Boundary
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		out = append(out, g.crossingsOf(v, region)...)
+	}
+	return out
+}
+
+// ReachableCrossings performs the prediction traversal of §4.4: a
+// depth-first walk from the given start vertices (the candidate structures'
+// matched crossings), returning the boundary crossings of every reached
+// vertex. The walk is linear in reached vertices and edges; each pop and
+// edge scan increments the ops counter.
+func (g *Graph) ReachableCrossings(start []int32, region geom.Region) []Boundary {
+	if len(g.ids) == 0 || len(start) == 0 {
+		return nil
+	}
+	visited := make([]bool, len(g.ids))
+	stack := make([]int32, 0, len(start))
+	for _, v := range start {
+		if v >= 0 && int(v) < len(g.ids) && !visited[v] {
+			visited[v] = true
+			stack = append(stack, v)
+		}
+	}
+	var crossings []Boundary
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.ops++
+		crossings = append(crossings, g.crossingsOf(v, region)...)
+		for _, w := range g.adj[v] {
+			g.ops++
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return crossings
+}
+
+// ReachableFrom returns all vertices reachable from the start set.
+func (g *Graph) ReachableFrom(start []int32) []int32 {
+	if len(start) == 0 {
+		return nil
+	}
+	visited := make([]bool, len(g.ids))
+	stack := make([]int32, 0, len(start))
+	var out []int32
+	for _, v := range start {
+		if v >= 0 && int(v) < len(g.ids) && !visited[v] {
+			visited[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.ops++
+		out = append(out, v)
+		for _, w := range g.adj[v] {
+			g.ops++
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return out
+}
+
+// CrossingsNear returns the boundary crossings whose point lies within tol
+// of any of the given points. Candidate pruning (§4.3) matches the
+// structures entering query n against the exit locations of query n−1 this
+// way — purely geometrically, never via ground-truth identifiers.
+func (g *Graph) CrossingsNear(region geom.Region, points []geom.Vec3, tol float64) []Boundary {
+	return g.CrossingsNearDir(region, points, nil, tol)
+}
+
+// CrossingsNearDir is CrossingsNear with an optional direction filter: when
+// dirs is non-nil (one expected walk direction per point), a crossing only
+// matches a point if its outward direction OPPOSES the walk — an entering
+// structure's outward crossing points back toward where the user came from.
+// The filter sharpens candidate pruning in dense datasets where proximity
+// alone is ambiguous.
+func (g *Graph) CrossingsNearDir(region geom.Region, points []geom.Vec3, dirs []geom.Vec3, tol float64) []Boundary {
+	if len(points) == 0 {
+		return nil
+	}
+	var out []Boundary
+	tol2 := tol * tol
+	for _, c := range g.Crossings(region) {
+		for i, p := range points {
+			if c.Point.DistSq(p) > tol2 {
+				continue
+			}
+			if dirs != nil && i < len(dirs) && c.Dir.Dot(dirs[i]) > 0.3 {
+				continue // crossing heads the same way as the walk: not an entry
+			}
+			out = append(out, c)
+			break
+		}
+	}
+	return out
+}
+
+// VerticesOfObjects maps object IDs to their vertices, skipping objects not
+// in the graph.
+func (g *Graph) VerticesOfObjects(ids []pagestore.ObjectID) []int32 {
+	var out []int32
+	for _, id := range ids {
+		if v, ok := g.vert[id]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package sgraph builds and traverses the approximate spatial graphs at the
+// core of SCOUT's prediction (paper §4.2–§4.4).
+//
+// Objects in a query result become graph vertices; two objects are connected
+// when they are spatially close. Closeness is established by grid hashing:
+// the query region is partitioned into equi-volume cells, every object's
+// simplified geometry (a line segment) is mapped to the cells it passes
+// through with a voxel walk, and objects sharing a cell are connected
+// pairwise. Datasets with an explicit underlying graph (polygon meshes) skip
+// grid hashing and use the dataset adjacency directly.
+//
+// The graph supports incremental construction — SCOUT interleaves graph
+// building with result retrieval (§4), and SCOUT-OPT's sparse construction
+// adds one page at a time (§6.2) — so vertices may be added at any moment,
+// with union-find connectivity kept current throughout.
+package sgraph
+
+import (
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+)
+
+// Graph is the approximate graph of a query result. It is built for one
+// region and discarded after the next prediction — exactly the lifecycle of
+// the paper's design, which rebuilds per query rather than precomputing a
+// dataset-wide graph.
+type Graph struct {
+	store *pagestore.Store
+	grid  *geom.Grid
+	// cells maps a grid cell to the vertices passing through it.
+	cells map[int][]int32
+	ids   []pagestore.ObjectID
+	vert  map[pagestore.ObjectID]int32
+	adj   [][]int32
+	edges int
+	// parent/rank implement union-find over vertices for O(α) incremental
+	// connectivity, used by sparse construction and component extraction.
+	parent []int32
+	rank   []int8
+	// ops counts elementary traversal operations (vertex pops and edge
+	// scans); Figures 14 and 16 report prediction cost, which this counter
+	// makes deterministic and machine-independent.
+	ops int64
+	// cellScratch avoids re-allocating the voxel-walk buffer per object.
+	cellScratch []int
+}
+
+// New creates an empty graph whose grid hashing covers bounds with the given
+// total cell count (the paper's grid resolution, Figure 13e). A resolution
+// of 0 disables grid hashing; vertices are then connected only explicitly
+// via ConnectExplicit (the polygon-mesh path).
+func New(store *pagestore.Store, bounds geom.AABB, resolution int) *Graph {
+	g := &Graph{
+		store: store,
+		cells: make(map[int][]int32),
+		vert:  make(map[pagestore.ObjectID]int32),
+	}
+	if resolution > 0 {
+		g.grid = geom.NewGridWithCells(bounds, resolution)
+	}
+	return g
+}
+
+// Build constructs the complete graph of a query result in one call: every
+// object becomes a vertex and grid hashing connects them.
+func Build(store *pagestore.Store, bounds geom.AABB, resolution int, result []pagestore.ObjectID) *Graph {
+	g := New(store, bounds, resolution)
+	for _, id := range result {
+		g.AddObject(id)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices added so far.
+func (g *Graph) NumVertices() int { return len(g.ids) }
+
+// NumEdges returns the number of undirected edges added so far.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// ObjectAt returns the object ID of vertex v.
+func (g *Graph) ObjectAt(v int32) pagestore.ObjectID { return g.ids[v] }
+
+// ObjectOf returns the stored object of vertex v.
+func (g *Graph) ObjectOf(v int32) pagestore.Object {
+	return g.store.Object(g.ids[v])
+}
+
+// VertexOf returns the vertex of an object, or -1 when absent.
+func (g *Graph) VertexOf(id pagestore.ObjectID) int32 {
+	if v, ok := g.vert[id]; ok {
+		return v
+	}
+	return -1
+}
+
+// Contains reports whether the object is already a vertex.
+func (g *Graph) Contains(id pagestore.ObjectID) bool {
+	_, ok := g.vert[id]
+	return ok
+}
+
+// Adj returns the adjacency list of vertex v. Callers must not modify it.
+func (g *Graph) Adj(v int32) []int32 { return g.adj[v] }
+
+// AddObject inserts the object as a vertex (idempotently) and, when grid
+// hashing is enabled, connects it to every object sharing a grid cell.
+// It returns the object's vertex.
+func (g *Graph) AddObject(id pagestore.ObjectID) int32 {
+	if v, ok := g.vert[id]; ok {
+		return v
+	}
+	v := int32(len(g.ids))
+	g.ids = append(g.ids, id)
+	g.vert[id] = v
+	g.adj = append(g.adj, nil)
+	g.parent = append(g.parent, v)
+	g.rank = append(g.rank, 0)
+
+	if g.grid != nil {
+		o := g.store.Object(id)
+		g.cellScratch = g.grid.SegmentCells(o.Seg, g.cellScratch[:0])
+		for _, c := range g.cellScratch {
+			occupants := g.cells[c]
+			for _, w := range occupants {
+				g.connect(v, w)
+			}
+			g.cells[c] = append(occupants, v)
+		}
+	}
+	return v
+}
+
+// ConnectExplicit adds an edge between two objects' vertices, inserting the
+// vertices if needed. This is the explicit-graph path for datasets with
+// adjacency information (polygon meshes, road topology).
+func (g *Graph) ConnectExplicit(a, b pagestore.ObjectID) {
+	va := g.AddObject(a)
+	vb := g.AddObject(b)
+	g.connect(va, vb)
+}
+
+// connect adds an undirected edge if absent. Duplicate suppression scans the
+// shorter adjacency list; grid hashing yields short lists at sane
+// resolutions, and the scan cost is itself part of the modeled graph
+// building cost.
+func (g *Graph) connect(a, b int32) {
+	if a == b {
+		return
+	}
+	la, lb := g.adj[a], g.adj[b]
+	shorter := la
+	if len(lb) < len(la) {
+		shorter = lb
+	}
+	other := b
+	if len(lb) < len(la) {
+		other = a
+	}
+	for _, w := range shorter {
+		if w == other {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.edges++
+	g.union(a, b)
+}
+
+// find returns the union-find root of v with path halving.
+func (g *Graph) find(v int32) int32 {
+	for g.parent[v] != v {
+		g.parent[v] = g.parent[g.parent[v]]
+		v = g.parent[v]
+	}
+	return v
+}
+
+func (g *Graph) union(a, b int32) {
+	ra, rb := g.find(a), g.find(b)
+	if ra == rb {
+		return
+	}
+	if g.rank[ra] < g.rank[rb] {
+		ra, rb = rb, ra
+	}
+	g.parent[rb] = ra
+	if g.rank[ra] == g.rank[rb] {
+		g.rank[ra]++
+	}
+}
+
+// Connected reports whether two vertices are in the same component.
+func (g *Graph) Connected(a, b int32) bool { return g.find(a) == g.find(b) }
+
+// Components returns the connected components of the graph, each a list of
+// vertices. Component order is deterministic (by smallest contained vertex).
+func (g *Graph) Components() [][]int32 {
+	byRoot := make(map[int32]int)
+	var comps [][]int32
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		r := g.find(v)
+		i, ok := byRoot[r]
+		if !ok {
+			i = len(comps)
+			byRoot[r] = i
+			comps = append(comps, nil)
+		}
+		comps[i] = append(comps[i], v)
+	}
+	return comps
+}
+
+// Ops returns the cumulative count of elementary traversal operations.
+func (g *Graph) Ops() int64 { return g.ops }
+
+// MemoryBytes estimates the memory footprint of the graph's major data
+// structures — adjacency lists, vertex table and grid cells — mirroring the
+// accounting of §8.2 ("the graph (adjacency list) and queues used for graph
+// traversal").
+func (g *Graph) MemoryBytes() int64 {
+	var b int64
+	b += int64(len(g.ids)) * 4           // ids
+	b += int64(len(g.ids)) * (4 + 4 + 8) // vert map entries (approx)
+	b += int64(len(g.ids)) * 5           // parent + rank
+	for _, a := range g.adj {
+		b += 24 + int64(cap(a))*4 // slice header + payload
+	}
+	for _, occ := range g.cells {
+		b += 8 + 24 + int64(cap(occ))*4
+	}
+	return b
+}
