@@ -36,6 +36,10 @@ func sharedEnv() *experiments.Env {
 			Scale:     BenchScale,
 			Sequences: BenchSequences,
 			Seed:      7,
+			// Workers 0 = GOMAXPROCS: the parallel harness produces results
+			// byte-identical to sequential runs (engine.RunEach), so the
+			// reported metrics are unaffected by the worker count.
+			Workers: 0,
 		})
 	})
 	return benchEnv

@@ -3,23 +3,54 @@
 // maps experiment IDs to figures and EXPERIMENTS.md records paper-vs-
 // measured values.
 //
+// Sequences within each measurement are fanned out across -workers cores
+// (results are byte-identical to a sequential run; see engine.RunEach).
+// -compare additionally re-runs every experiment single-core and reports
+// the wall-clock speedup; -benchjson writes the timings to a JSON file so
+// the perf trajectory is tracked across commits (CI stores BENCH_hotpath.json).
+//
 // Usage:
 //
 //	scoutbench -list
 //	scoutbench -exp fig11a            # one experiment at full scale
 //	scoutbench -exp all -scale 0.25   # everything, quarter-scale datasets
 //	scoutbench -exp fig13d -seqs 10   # fewer sequences for a quick look
+//	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"scout/internal/experiments"
 )
+
+// benchRecord is one experiment's timing in the -benchjson output.
+type benchRecord struct {
+	ID string `json:"id"`
+	// WallMS is the wall-clock of the (parallel) run in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SequentialWallMS is filled only with -compare.
+	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
+	// Speedup is SequentialWallMS / WallMS (with -compare).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// benchFile is the schema of BENCH_hotpath.json.
+type benchFile struct {
+	Scale       float64       `json:"scale"`
+	Sequences   int           `json:"sequences"`
+	Seed        int64         `json:"seed"`
+	Workers     int           `json:"workers"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+	Experiments []benchRecord `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -28,6 +59,9 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md scale)")
 		seqs    = flag.Int("seqs", 0, "override sequences per measurement (0 = paper count)")
 		seed    = flag.Int64("seed", 7, "workload random seed")
+		workers = flag.Int("workers", 0, "sequence-level worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		compare = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
+		jsonOut = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
@@ -39,7 +73,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed}
+	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -60,10 +94,93 @@ func main() {
 		}
 	}
 
+	// The sequential comparison environment shares nothing with the parallel
+	// one except the options, so dataset build time is charged to both runs
+	// equally (datasets are memoized per environment, not globally).
+	var seqEnv *experiments.Env
+	if *compare {
+		seqOpt := opt
+		seqOpt.Workers = 1
+		seqEnv = experiments.NewEnv(seqOpt)
+	}
+
+	// Build the shared datasets before starting any timer, so the recorded
+	// wall-clocks measure experiment execution, not one-time dataset
+	// generation (which would otherwise land inside the first experiment's
+	// measurement and distort the perf trajectory in -benchjson). Each
+	// experiment declares its datasets via Warm; builds are memoized per
+	// environment, so overlapping declarations cost nothing. fig13b/fig14
+	// use parameterized density-sweep datasets that must build inside the
+	// run (Warm == nil).
+	for _, e := range toRun {
+		if e.Warm == nil {
+			continue
+		}
+		e.Warm(env)
+		if seqEnv != nil {
+			e.Warm(seqEnv)
+		}
+	}
+
+	out := benchFile{
+		Scale:      *scale,
+		Sequences:  *seqs,
+		Seed:       *seed,
+		Workers:    *workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	// total accumulates only the (parallel) experiment runs, excluding the
+	// -compare sequential re-runs, so the JSON trajectory metric tracks the
+	// harness's own wall-clock across commits.
+	var total time.Duration
 	for _, e := range toRun {
 		start := time.Now()
 		res := e.Run(env)
+		wall := time.Since(start)
+		total += wall
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+
+		rec := benchRecord{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000}
+		if *compare {
+			seqStart := time.Now()
+			seqRes := e.Run(seqEnv)
+			seqWall := time.Since(seqStart)
+			rec.SequentialWallMS = float64(seqWall.Microseconds()) / 1000
+			if rec.WallMS > 0 {
+				rec.Speedup = rec.SequentialWallMS / rec.WallMS
+			}
+			if seqRes.String() != res.String() {
+				fmt.Fprintf(os.Stderr, "WARNING: %s: parallel output differs from sequential output\n", e.ID)
+			}
+			fmt.Printf("(%s completed in %s; sequential %s, speedup %.2fx)\n\n",
+				e.ID, wall.Round(time.Millisecond), seqWall.Round(time.Millisecond), rec.Speedup)
+		} else {
+			fmt.Printf("(%s completed in %s)\n\n", e.ID, wall.Round(time.Millisecond))
+		}
+		out.Experiments = append(out.Experiments, rec)
 	}
+	out.TotalWallMS = float64(total.Microseconds()) / 1000
+	fmt.Printf("total wall-clock: %s (%d experiments, workers=%d)\n",
+		total.Round(time.Millisecond), len(toRun), effectiveWorkers(*workers))
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }

@@ -1,0 +1,35 @@
+package core
+
+// idSet is a reusable epoch-stamped membership set over small integer IDs
+// (object IDs, page IDs). reset is O(1) — bumping the epoch invalidates all
+// entries — so per-query result/candidate sets stop allocating once the
+// backing array has grown to the store's size. It replaces the
+// map[ObjectID]bool / map[PageID]bool sets the hot path previously rebuilt
+// and discarded every query.
+type idSet struct {
+	gen   []uint32
+	epoch uint32
+}
+
+// reset empties the set and ensures capacity for IDs in [0, n).
+func (s *idSet) reset(n int) {
+	if len(s.gen) < n {
+		s.gen = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide with a live epoch
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// add inserts id. The id must be < the n the set was last reset with.
+func (s *idSet) add(id uint32) { s.gen[id] = s.epoch }
+
+// has reports membership.
+func (s *idSet) has(id uint32) bool {
+	return int(id) < len(s.gen) && s.gen[id] == s.epoch
+}

@@ -48,6 +48,17 @@ type Scout struct {
 	centers   []geom.Vec3
 	plan      prefetch.Plan
 	stats     QueryStats
+
+	// graph is the reusable arena rebuilt for every query (sgraph.Graph
+	// recycles all backing storage across Resets); the scratch fields below
+	// recycle the remaining per-query working set, so steady-state
+	// observation allocates only for the plan it hands back.
+	graph      *sgraph.Graph
+	inResult   idSet
+	startVerts []int32
+	allVerts   []int32
+	projPts    []geom.Vec3
+	projDirs   []geom.Vec3
 }
 
 // New creates a SCOUT prefetcher over the given store. adjacency may be nil
@@ -65,12 +76,23 @@ func New(store *pagestore.Store, adjacency [][]pagestore.ObjectID, cfg Config) *
 // Name implements prefetch.Prefetcher.
 func (s *Scout) Name() string { return "SCOUT" }
 
-// Reset implements prefetch.Prefetcher.
+// Reset implements prefetch.Prefetcher. It returns the prefetcher to its
+// freshly-constructed state — including the RNG, which is reseeded so every
+// sequence's run is independent of the sequences before it. That invariant
+// is what lets the parallel experiment harness fan sequences out across
+// workers and still produce byte-identical results to a sequential run.
 func (s *Scout) Reset() {
 	s.prevExits = nil
 	s.centers = s.centers[:0]
 	s.plan = prefetch.Plan{}
 	s.stats = QueryStats{}
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+}
+
+// Clone implements prefetch.Cloner: an independent fresh-state copy sharing
+// only the immutable store and adjacency.
+func (s *Scout) Clone() prefetch.Prefetcher {
+	return New(s.store, s.adjacency, s.cfg)
 }
 
 // LastStats returns the internals of the most recent observation.
@@ -86,7 +108,7 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 	bounds := obs.Region.Bounds()
 	side := sideOf(bounds)
 	s.centers = append(s.centers, obs.Center)
-	estStep, estGap := s.estimateStep(side)
+	_, estGap := s.estimateStep(side)
 
 	g := s.buildGraph(obs, bounds)
 	buildCost := graphBuildCost(s.cfg.Cost, g)
@@ -108,7 +130,7 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 		// The ladder is sized to the next query's page FOOTPRINT — for
 		// boxes that is the query volume, for frusta the (larger) bounding
 		// box that determines which pages the query touches.
-		Requests:   s.requestsFor(exits, bounds.Volume(), side, estStep, estGap),
+		Requests:   s.requestsFor(exits, bounds.Volume(), side, estGap),
 		GraphBuild: buildCost,
 		Prediction: predCost,
 	}
@@ -131,26 +153,41 @@ func (s *Scout) estimateStep(side float64) (step, gap float64) {
 	return step, gap
 }
 
+// resetGraph readies the reusable graph arena for a new query region.
+func (s *Scout) resetGraph(bounds geom.AABB, resolution int) *sgraph.Graph {
+	if s.graph == nil {
+		s.graph = sgraph.New(s.store, bounds, resolution)
+	} else {
+		s.graph.Reset(bounds, resolution)
+	}
+	return s.graph
+}
+
 // buildGraph constructs the approximate graph of the query result: via the
-// explicit dataset adjacency when available, else via grid hashing.
+// explicit dataset adjacency when available, else via grid hashing. The
+// graph lives in the prefetcher's arena and is valid until the next query.
 func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) *sgraph.Graph {
 	if s.adjacency != nil {
-		g := sgraph.New(s.store, bounds, 0)
-		inResult := make(map[pagestore.ObjectID]bool, len(obs.Result))
+		g := s.resetGraph(bounds, 0)
+		s.inResult.reset(s.store.NumObjects())
 		for _, id := range obs.Result {
-			inResult[id] = true
+			s.inResult.add(uint32(id))
 		}
 		for _, id := range obs.Result {
 			g.AddObject(id)
 			for _, nb := range s.adjacency[id] {
-				if inResult[nb] {
+				if s.inResult.has(uint32(nb)) {
 					g.ConnectExplicit(id, nb)
 				}
 			}
 		}
 		return g
 	}
-	return sgraph.Build(s.store, bounds, s.cfg.Resolution, obs.Result)
+	g := s.resetGraph(bounds, s.cfg.Resolution)
+	for _, id := range obs.Result {
+		g.AddObject(id)
+	}
+	return g
 }
 
 // predict performs candidate pruning and the prediction traversal (§4.3,
@@ -159,7 +196,7 @@ func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) *sgraph.G
 func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float64) ([]sgraph.Boundary, int, time.Duration) {
 	ops0 := g.Ops()
 
-	var startVerts []int32
+	startVerts := s.startVerts[:0]
 	var prevPts []geom.Vec3
 	reset := len(s.prevExits) == 0 || s.cfg.DisablePruning
 	if !reset {
@@ -170,15 +207,16 @@ func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float6
 		// instead would eventually match every structure in the query and
 		// void the pruning.
 		tol := side*s.cfg.MatchTolFrac + estGap*0.6
-		matched := g.CrossingsNearDir(region,
-			projectedPoints(s.prevExits, estGap), boundaryDirs(s.prevExits), tol)
+		s.projPts = appendProjectedPoints(s.projPts[:0], s.prevExits, estGap)
+		s.projDirs = appendBoundaryDirs(s.projDirs[:0], s.prevExits)
+		matched := g.CrossingsNearDir(region, s.projPts, s.projDirs, tol)
 		if len(matched) == 0 {
 			reset = true // user switched structures (§4.3 reset)
 		} else {
 			for _, m := range matched {
 				startVerts = append(startVerts, m.Vertex)
 			}
-			prevPts = projectedPoints(s.prevExits, estGap)
+			prevPts = s.projPts
 		}
 	}
 	if reset {
@@ -188,15 +226,17 @@ func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float6
 			startVerts = append(startVerts, c.Vertex)
 		}
 	}
+	s.startVerts = startVerts
 	exits, candidates := s.predictFrom(g, region, side, startVerts, prevPts)
 	if !reset && estGap > side*0.05 {
 		// "SCOUT has no way to prune candidates in the gap region and is
 		// forced to traverse the entire graph" (§7.3): charge a full-graph
 		// traversal on top of the candidate traversal.
-		all := make([]int32, g.NumVertices())
-		for v := range all {
-			all[v] = int32(v)
+		all := s.allVerts[:0]
+		for v := 0; v < g.NumVertices(); v++ {
+			all = append(all, int32(v))
 		}
+		s.allVerts = all
 		g.ReachableFrom(all)
 	}
 
@@ -248,8 +288,8 @@ func (s *Scout) predictFrom(g *sgraph.Graph, region geom.Region, side float64, s
 
 // requestsFor converts candidate exits into the prefetch plan: select
 // locations per the strategy, then emit interleaved incremental ladders.
-func (s *Scout) requestsFor(exits []sgraph.Boundary, volume, side, estStep, estGap float64) []prefetch.Request {
-	locs := s.selectLocations(exits, side, estStep, estGap)
+func (s *Scout) requestsFor(exits []sgraph.Boundary, volume, side, estGap float64) []prefetch.Request {
+	locs := s.selectLocations(exits, side, estGap)
 	if len(locs) == 0 {
 		return s.fallbackRequests(volume, side)
 	}
@@ -295,14 +335,13 @@ type location struct {
 // center (§4.4), then applies the strategy: deep picks one at random
 // (§5.2.1); broad keeps all, k-means clustering down to MaxLocations when
 // there are too many (§5.2.2).
-func (s *Scout) selectLocations(exits []sgraph.Boundary, side, estStep, estGap float64) []location {
+func (s *Scout) selectLocations(exits []sgraph.Boundary, side, estGap float64) []location {
 	if len(exits) == 0 {
 		return nil
 	}
 	// The anchor is the expected entry point of the next query: the exit
 	// point itself for adjacent queries, shifted by the estimated gap when
 	// the sequence has gaps (§5.3 linear extrapolation).
-	_ = estStep
 	mk := func(e sgraph.Boundary) location {
 		return location{center: e.Point.Add(e.Dir.Scale(estGap)), dir: e.Dir}
 	}
@@ -365,32 +404,23 @@ func interleave(ladders [][]prefetch.Request) []prefetch.Request {
 	}
 }
 
-// boundaryPoints projects boundaries to their crossing points.
-func boundaryPoints(bs []sgraph.Boundary) []geom.Vec3 {
-	pts := make([]geom.Vec3, len(bs))
-	for i, b := range bs {
-		pts[i] = b.Point
+// appendProjectedPoints extrapolates each exit across the gap along its
+// outward direction — the expected entry points of the next query (§5.3) —
+// appending to dst so callers can recycle the buffer.
+func appendProjectedPoints(dst []geom.Vec3, bs []sgraph.Boundary, gap float64) []geom.Vec3 {
+	for _, b := range bs {
+		dst = append(dst, b.Point.Add(b.Dir.Scale(gap)))
 	}
-	return pts
+	return dst
 }
 
-// projectedPoints extrapolates each exit across the gap along its outward
-// direction: the expected entry points of the next query (§5.3).
-func projectedPoints(bs []sgraph.Boundary, gap float64) []geom.Vec3 {
-	pts := make([]geom.Vec3, len(bs))
-	for i, b := range bs {
-		pts[i] = b.Point.Add(b.Dir.Scale(gap))
+// appendBoundaryDirs extracts the outward directions of the boundaries,
+// appending to dst.
+func appendBoundaryDirs(dst []geom.Vec3, bs []sgraph.Boundary) []geom.Vec3 {
+	for _, b := range bs {
+		dst = append(dst, b.Dir)
 	}
-	return pts
-}
-
-// boundaryDirs extracts the outward directions of the boundaries.
-func boundaryDirs(bs []sgraph.Boundary) []geom.Vec3 {
-	dirs := make([]geom.Vec3, len(bs))
-	for i, b := range bs {
-		dirs[i] = b.Dir
-	}
-	return dirs
+	return dst
 }
 
 // countComponents counts distinct connected components among the vertices

@@ -18,6 +18,18 @@ import (
 type ScoutOpt struct {
 	Scout
 	flat *flatindex.Index
+
+	// Reusable per-query working set: candidate/visited page sets, the page
+	// expansion queue of sparse construction, and a second graph arena for
+	// gap traversal (the main arena holds the query's graph, which must
+	// survive while the gap corridors are explored).
+	inCand    idSet
+	pageSeen  idSet
+	pageQueue []pagestore.PageID
+	pageAdded []int32
+	gapGraph  *sgraph.Graph
+	gapStarts []int32
+	gapFronts []pagestore.PageID
 }
 
 // NewOpt creates a SCOUT-OPT prefetcher over the given FLAT-like index.
@@ -32,6 +44,12 @@ func NewOpt(flat *flatindex.Index, adjacency [][]pagestore.ObjectID, cfg Config)
 // Name implements prefetch.Prefetcher.
 func (s *ScoutOpt) Name() string { return "SCOUT-OPT" }
 
+// Clone implements prefetch.Cloner: an independent fresh-state copy sharing
+// only the immutable index, store and adjacency.
+func (s *ScoutOpt) Clone() prefetch.Prefetcher {
+	return NewOpt(s.flat, s.adjacency, s.cfg)
+}
+
 // Observe implements prefetch.Prefetcher. It mirrors Scout.Observe but uses
 // sparse graph construction when the previous query's exits are known, and
 // adds gap traversal to the plan when the sequence has gaps.
@@ -39,20 +57,21 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 	bounds := obs.Region.Bounds()
 	side := sideOf(bounds)
 	s.centers = append(s.centers, obs.Center)
-	estStep, estGap := s.estimateStep(side)
+	_, estGap := s.estimateStep(side)
 	tol := side*s.cfg.MatchTolFrac + estGap*0.6
 
 	var g *sgraph.Graph
-	var startVerts []int32
+	startVerts := s.startVerts[:0]
 	var prevPts []geom.Vec3
 	sparsePages := 0
 	reset := len(s.prevExits) == 0
 	if !reset {
-		g, startVerts, _, sparsePages = s.sparseBuild(obs, bounds, tol, estGap)
+		s.projPts = appendProjectedPoints(s.projPts[:0], s.prevExits, estGap)
+		g, startVerts, sparsePages = s.sparseBuild(obs, bounds, tol, s.projPts, startVerts)
 		if len(startVerts) == 0 {
 			reset = true // candidate lost: rebuild in full
 		} else {
-			prevPts = projectedPoints(s.prevExits, estGap)
+			prevPts = s.projPts
 		}
 	}
 	if reset {
@@ -63,6 +82,7 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 			startVerts = append(startVerts, c.Vertex)
 		}
 	}
+	s.startVerts = startVerts
 	buildCost := graphBuildCost(s.cfg.Cost, g)
 
 	ops0 := g.Ops()
@@ -103,7 +123,7 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 		}
 		reqs = interleave(ladders)
 	}
-	reqs = append(reqs, s.requestsFor(exits, volume, side, estStep, estGap)...)
+	reqs = append(reqs, s.requestsFor(exits, volume, side, estGap)...)
 
 	s.stats = QueryStats{
 		ResultObjects: len(obs.Result),
@@ -132,56 +152,54 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 // sparseBuild implements §6.2: starting from the pages at the previous
 // query's exit locations, it builds only the subgraph reachable from those
 // exits, expanding through page neighborhood links, and leaves the rest of
-// the result pages out of the graph entirely. It returns the graph, the
-// start vertices matched to the previous exits, their crossing points, and
-// the number of pages whose objects were added.
-func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol, estGap float64) (*sgraph.Graph, []int32, []geom.Vec3, int) {
-	inResult := make(map[pagestore.ObjectID]bool, len(obs.Result))
+// the result pages out of the graph entirely. exitPts are the previous
+// exits projected across the gap; startVerts is an empty recycled buffer.
+// It returns the graph (in the shared arena), the start vertices matched to
+// the previous exits, and the number of pages whose objects were added.
+func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol float64, exitPts []geom.Vec3, startVerts []int32) (*sgraph.Graph, []int32, int) {
+	s.inResult.reset(s.store.NumObjects())
 	for _, id := range obs.Result {
-		inResult[id] = true
+		s.inResult.add(uint32(id))
 	}
-	inCand := make(map[pagestore.PageID]bool, len(obs.Pages))
+	s.inCand.reset(s.store.NumPages())
 	for _, p := range obs.Pages {
-		inCand[p] = true
+		s.inCand.add(uint32(p))
 	}
-	exitPts := projectedPoints(s.prevExits, estGap)
 
 	// Seed pages: candidate pages whose MBR comes within tol of an exit.
-	var queue []pagestore.PageID
-	visited := make(map[pagestore.PageID]bool)
+	queue := s.pageQueue[:0]
+	s.pageSeen.reset(s.store.NumPages())
 	for _, p := range obs.Pages {
 		mbr := s.store.PageBounds(p)
 		for _, pt := range exitPts {
 			if mbr.DistSq(pt) <= tol*tol {
 				queue = append(queue, p)
-				visited[p] = true
+				s.pageSeen.add(uint32(p))
 				break
 			}
 		}
 	}
 	if len(queue) == 0 {
-		return nil, nil, nil, 0
+		s.pageQueue = queue
+		return nil, nil, 0
 	}
 
-	g := sgraph.New(s.store, bounds, s.cfg.Resolution)
-	var startVerts []int32
-	var matchedPts []geom.Vec3
+	g := s.resetGraph(bounds, s.cfg.Resolution)
 	pagesUsed := 0
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
 		pagesUsed++
 
 		// Build the subgraph of page P: add its result objects.
-		added := make([]int32, 0, 8)
+		added := s.pageAdded[:0]
 		for _, id := range s.store.PageObjects(p) {
-			if !inResult[id] {
+			if !s.inResult.has(uint32(id)) {
 				continue
 			}
 			if g.Contains(id) {
 				continue
 			}
-			added = append(added, s.addObjectMaybeExplicit(g, id, inResult))
+			added = append(added, s.addObjectMaybeExplicit(g, id))
 		}
 		// Newly found crossings near the previous exits (only the vertices
 		// added by this page can contribute new ones).
@@ -189,7 +207,6 @@ func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol, 
 			for _, c := range g.VertexCrossings(v, obs.Region) {
 				if nearAny(c.Point, exitPts, tol) && !containsVert(startVerts, c.Vertex) {
 					startVerts = append(startVerts, c.Vertex)
-					matchedPts = append(matchedPts, c.Point)
 				}
 			}
 		}
@@ -212,18 +229,20 @@ func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol, 
 					continue // endpoint stays inside P: no page crossing
 				}
 				for _, q := range s.flat.Neighbors(p) {
-					if !inCand[q] || visited[q] {
+					if !s.inCand.has(uint32(q)) || s.pageSeen.has(uint32(q)) {
 						continue
 					}
 					if s.store.PageBounds(q).Inflate(eps).Contains(pt) {
-						visited[q] = true
+						s.pageSeen.add(uint32(q))
 						queue = append(queue, q)
 					}
 				}
 			}
 		}
+		s.pageAdded = added[:0]
 	}
-	return g, startVerts, matchedPts, pagesUsed
+	s.pageQueue = queue[:0]
+	return g, startVerts, pagesUsed
 }
 
 // nearAny reports whether p is within tol of any of the points.
@@ -276,12 +295,13 @@ func containsVert(verts []int32, v int32) bool {
 }
 
 // addObjectMaybeExplicit inserts an object, wiring explicit adjacency when
-// the dataset has it.
-func (s *ScoutOpt) addObjectMaybeExplicit(g *sgraph.Graph, id pagestore.ObjectID, inResult map[pagestore.ObjectID]bool) int32 {
+// the dataset has it. Membership in the current result is read from the
+// recycled inResult set, which sparseBuild populates.
+func (s *ScoutOpt) addObjectMaybeExplicit(g *sgraph.Graph, id pagestore.ObjectID) int32 {
 	v := g.AddObject(id)
 	if s.adjacency != nil {
 		for _, nb := range s.adjacency[id] {
-			if inResult[nb] && g.Contains(nb) {
+			if s.inResult.has(uint32(nb)) && g.Contains(nb) {
 				g.ConnectExplicit(id, nb)
 			}
 		}
@@ -320,15 +340,23 @@ func (s *ScoutOpt) gapTraverse(exits []sgraph.Boundary, region geom.AABB, side, 
 		reach := estGap + side
 		corridor := geom.CubeAt(e.Point.Add(e.Dir.Scale(estGap/2)), 8*reach*reach*reach)
 
-		g := sgraph.New(s.store, corridor, s.cfg.Resolution)
-		visited := map[pagestore.PageID]bool{}
-		var frontier []pagestore.PageID
+		// The corridor graph lives in its own arena: the query's main graph
+		// (in Scout.graph) must stay intact while the gap is explored.
+		if s.gapGraph == nil {
+			s.gapGraph = sgraph.New(s.store, corridor, s.cfg.Resolution)
+		} else {
+			s.gapGraph.Reset(corridor, s.cfg.Resolution)
+		}
+		g := s.gapGraph
+		ops0 := g.Ops()
+		s.pageSeen.reset(s.store.NumPages())
+		frontier := s.gapFronts[:0]
 		if seed, ok := s.flat.SeedPage(e.Point.Add(e.Dir.Scale(side * 0.02))); ok {
 			frontier = append(frontier, seed)
-			visited[seed] = true
+			s.pageSeen.add(uint32(seed))
 		}
 		// The traversal starts from the objects at the exit location.
-		var starts []int32
+		starts := s.gapStarts[:0]
 		far := location{center: e.Point, dir: e.Dir}
 		farDist := 0.0
 
@@ -374,17 +402,19 @@ func (s *ScoutOpt) gapTraverse(exits []sgraph.Boundary, region geom.AABB, side, 
 				break
 			}
 			for _, q := range s.flat.Neighbors(p) {
-				if visited[q] {
+				if s.pageSeen.has(uint32(q)) {
 					continue
 				}
 				if !s.store.PageBounds(q).Intersects(corridor) {
 					continue
 				}
-				visited[q] = true
+				s.pageSeen.add(uint32(q))
 				frontier = append(frontier, q)
 			}
 		}
-		ops += g.Ops()
+		s.gapFronts = frontier[:0]
+		s.gapStarts = starts[:0]
+		ops += g.Ops() - ops0
 
 		loc := far
 		if farDist < estGap*0.9 {

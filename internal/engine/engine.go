@@ -11,6 +11,9 @@
 package engine
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"scout/internal/cache"
@@ -288,11 +291,77 @@ func (e *Engine) queryObjects(r geom.Region, pages []pagestore.PageID) []pagesto
 	return out
 }
 
+// Clone creates an engine over the same (immutable) store and index with
+// its own disk head and prefetch cache. The parallel executor gives every
+// worker a clone, so concurrent sequence runs share only read-only state.
+func (e *Engine) Clone() *Engine {
+	return New(e.store, e.index, e.cfg)
+}
+
 // RunAll executes many sequences and aggregates their results.
 func (e *Engine) RunAll(seqs []workload.Sequence, p prefetch.Prefetcher) Aggregate {
 	var agg Aggregate
-	for _, seq := range seqs {
-		r := e.RunSequence(seq, p)
+	for _, r := range e.RunEach(seqs, p, 1) {
+		agg.add(r)
+	}
+	return agg
+}
+
+// RunEach executes the sequences and returns one result per sequence, in
+// sequence order, fanning them out across `workers` goroutines (0 means
+// GOMAXPROCS, as everywhere in the harness; 1 or a prefetcher without
+// Clone runs sequentially). Worker counts above GOMAXPROCS are honored —
+// the scheduler multiplexes them — so concurrency behavior is the same on
+// every host. Sequences are independent by construction — RunSequence
+// clears the cache, disk head and prefetcher first, and Reset restores a
+// prefetcher to its freshly-constructed state — so the returned results are
+// byte-identical whatever the worker count: each worker runs a cloned
+// engine + prefetcher, claims sequence indices from a shared counter, and
+// writes into the result slot of its index.
+func (e *Engine) RunEach(seqs []workload.Sequence, p prefetch.Prefetcher, workers int) []SequenceResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	cl, cloneable := p.(prefetch.Cloner)
+	if workers <= 1 || !cloneable {
+		out := make([]SequenceResult, len(seqs))
+		for i, seq := range seqs {
+			out[i] = e.RunSequence(seq, p)
+		}
+		return out
+	}
+
+	out := make([]SequenceResult, len(seqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			we := e.Clone()
+			wp := cl.Clone()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seqs) {
+					return
+				}
+				out[i] = we.RunSequence(seqs[i], wp)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunAllParallel is RunAll with the sequences fanned out across `workers`
+// goroutines (0 means GOMAXPROCS). The aggregate is merged in sequence
+// order and is identical to RunAll's for any worker count.
+func (e *Engine) RunAllParallel(seqs []workload.Sequence, p prefetch.Prefetcher, workers int) Aggregate {
+	var agg Aggregate
+	for _, r := range e.RunEach(seqs, p, workers) {
 		agg.add(r)
 	}
 	return agg

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"scout/internal/core"
-	"scout/internal/engine"
 )
 
 // Ablations beyond the paper: each validates one design choice DESIGN.md
@@ -27,11 +26,8 @@ func AblationStrategy(env *Env) Result {
 	for _, strat := range []core.Strategy{core.Deep, core.Broad} {
 		cfg := core.DefaultConfig()
 		cfg.Strategy = strat
-		e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
 		var rates []float64
-		p := s.scout(cfg)
-		for _, seq := range seqs {
-			r := e.RunSequence(seq, p)
+		for _, r := range s.runEach(seqs, s.scout(cfg)) {
 			rates = append(rates, r.HitRate())
 		}
 		mean, std := meanStd(rates)

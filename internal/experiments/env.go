@@ -27,6 +27,9 @@ type Setup struct {
 	Store *pagestore.Store
 	Tree  *rtree.Tree
 	Flat  *flatindex.Index
+	// workers is the experiment harness's per-measurement parallelism,
+	// copied from Options by Env.setup (0 = GOMAXPROCS).
+	workers int
 }
 
 // BuildSetup indexes a generated dataset.
@@ -56,6 +59,10 @@ type Options struct {
 	Sequences int
 	// Seed makes workload generation deterministic.
 	Seed int64
+	// Workers caps the goroutines used to fan sequences of one measurement
+	// out across cores; 0 means GOMAXPROCS, 1 forces sequential execution.
+	// Results are byte-identical for any value (see engine.RunEach).
+	Workers int
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
@@ -123,6 +130,7 @@ func (e *Env) setup(key string, gen func() *dataset.Dataset) *Setup {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building %s: %v", key, err))
 	}
+	s.workers = e.opt.Workers
 	e.setups[key] = s
 	return s
 }
@@ -220,10 +228,19 @@ func (s *Setup) scoutOpt(cfg core.Config) *core.ScoutOpt {
 	return core.NewOpt(s.Flat, s.DS.Adjacency, cfg)
 }
 
-// runOne executes the sequences against one prefetcher on a fresh engine.
+// runOne executes the sequences against one prefetcher on a fresh engine,
+// fanned out across the harness's worker budget. Cloneable prefetchers run
+// one per worker; wrappers that accumulate state across sequences (the
+// analysis collectors) fall back to sequential execution inside RunEach.
 func (s *Setup) runOne(seqs []workload.Sequence, p prefetch.Prefetcher) engine.Aggregate {
 	e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
-	return e.RunAll(seqs, p)
+	return e.RunAllParallel(seqs, p, s.workers)
+}
+
+// runEach is runOne keeping the per-sequence results (in sequence order).
+func (s *Setup) runEach(seqs []workload.Sequence, p prefetch.Prefetcher) []engine.SequenceResult {
+	e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+	return e.RunEach(seqs, p, s.workers)
 }
 
 // genSequences builds the workload for this setup.

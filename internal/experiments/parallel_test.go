@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"scout/internal/core"
+	"scout/internal/engine"
+	"scout/internal/prefetch"
+)
+
+// parallelEnv builds a small shared environment for determinism tests.
+func parallelEnv(t *testing.T) (*Setup, *Env) {
+	t.Helper()
+	env := NewEnv(Options{Scale: 0.002, Sequences: 6, Seed: 7})
+	return env.Neuro(), env
+}
+
+// TestParallelMatchesSequential is the harness's determinism contract: for
+// every prefetcher family, running the same sequences through the parallel
+// executor must produce per-sequence results byte-identical to a sequential
+// run — same hit counts, same virtual-clock durations, same traces.
+func TestParallelMatchesSequential(t *testing.T) {
+	s, _ := parallelEnv(t)
+	p := sensitivityParams()
+	p.Queries = 8
+	seqs := s.genSequences(p, 6, 7)
+
+	for _, tc := range []struct {
+		name string
+		mk   func() prefetch.Prefetcher
+	}{
+		{"scout", func() prefetch.Prefetcher { return s.scout(core.DefaultConfig()) }},
+		{"scoutDeep", func() prefetch.Prefetcher {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = core.Deep
+			return s.scout(cfg)
+		}},
+		{"scoutOpt", func() prefetch.Prefetcher { return s.scoutOpt(core.DefaultConfig()) }},
+		{"ewma", func() prefetch.Prefetcher { return s.ewma(p.Volume) }},
+		{"straightLine", func() prefetch.Prefetcher { return s.straightLine(p.Volume) }},
+		{"hilbert", func() prefetch.Prefetcher { return s.hilbert(p.Volume) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+			seq := e.RunEach(seqs, tc.mk(), 1)
+			par := e.Clone().RunEach(seqs, tc.mk(), 4)
+			if len(seq) != len(par) {
+				t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+			}
+			for i := range seq {
+				if !reflect.DeepEqual(seq[i], par[i]) {
+					t.Errorf("sequence %d differs between sequential and parallel:\nseq: %+v\npar: %+v",
+						i, seq[i], par[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAggregateMatches runs a full experiment-style measurement both
+// ways and compares the aggregates, including for a gap workload (SCOUT-OPT
+// gap traversal path).
+func TestParallelAggregateMatches(t *testing.T) {
+	s, _ := parallelEnv(t)
+	p := sensitivityParams()
+	p.Queries = 8
+	p.Gap = 8
+	seqs := s.genSequences(p, 6, 11)
+
+	for _, mk := range []func() prefetch.Prefetcher{
+		func() prefetch.Prefetcher { return s.scout(core.DefaultConfig()) },
+		func() prefetch.Prefetcher { return s.scoutOpt(core.DefaultConfig()) },
+	} {
+		e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+		want := e.RunAllParallel(seqs, mk(), 1)
+		got := e.Clone().RunAllParallel(seqs, mk(), 4)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("aggregate differs:\nsequential: %+v\nparallel:   %+v", want, got)
+		}
+	}
+}
+
+// TestResetEqualsFresh pins the invariant the executor relies on: a
+// prefetcher that has run a sequence and is Reset must behave exactly like a
+// freshly constructed one on the next sequence.
+func TestResetEqualsFresh(t *testing.T) {
+	s, _ := parallelEnv(t)
+	p := sensitivityParams()
+	p.Queries = 8
+	seqs := s.genSequences(p, 2, 13)
+
+	for _, tc := range []struct {
+		name string
+		mk   func() prefetch.Prefetcher
+	}{
+		{"scout", func() prefetch.Prefetcher { return s.scout(core.DefaultConfig()) }},
+		{"scoutOpt", func() prefetch.Prefetcher { return s.scoutOpt(core.DefaultConfig()) }},
+	} {
+		used := tc.mk()
+		e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+		e.RunSequence(seqs[0], used) // dirty the prefetcher
+		dirty := e.RunSequence(seqs[1], used)
+
+		fresh := e.Clone().RunSequence(seqs[1], tc.mk())
+		if !reflect.DeepEqual(dirty, fresh) {
+			t.Errorf("%s: sequence result after Reset differs from fresh prefetcher:\nreset: %+v\nfresh: %+v",
+				tc.name, dirty, fresh)
+		}
+	}
+}

@@ -8,32 +8,48 @@ type Experiment struct {
 	Figure string
 	Desc   string
 	Run    func(*Env) Result
+	// Warm pre-builds the shared datasets the experiment will use, so
+	// harnesses can exclude one-time dataset generation from timed runs.
+	// Nil when the experiment has nothing to warm (pure tables) or uses
+	// only parameterized datasets that must build inside the run (the
+	// density sweeps of fig13b/fig14).
+	Warm func(*Env)
+}
+
+// warmNeuro and warmApplicability are the dataset warm-up hooks shared by
+// the registry entries below.
+func warmNeuro(e *Env) { e.Neuro() }
+
+func warmApplicability(e *Env) {
+	e.Lung()
+	e.Artery()
+	e.Road()
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig3", "Figure 3", "Accuracy of state-of-the-art approaches vs query volume", Fig3},
-		{"fig10", "Figure 10", "Microbenchmark parameter table", Fig10},
-		{"fig11a", "Figure 11(a)", "Accuracy for all microbenchmarks", Fig11a},
-		{"fig11b", "Figure 11(b)", "Speedup for all microbenchmarks", Fig11b},
-		{"fig12", "Figure 12", "Accuracy and speedup with gaps", Fig12},
-		{"fig13a", "Figure 13(a)", "Accuracy vs query volume", Fig13a},
-		{"fig13b", "Figure 13(b)", "Accuracy vs dataset density", Fig13b},
-		{"fig13c", "Figure 13(c)", "Accuracy vs sequence length", Fig13c},
-		{"fig13d", "Figure 13(d)", "Accuracy vs prefetch window ratio", Fig13d},
-		{"fig13e", "Figure 13(e)", "Accuracy vs grid resolution", Fig13e},
-		{"fig13f", "Figure 13(f)", "Accuracy vs gap distance (SCOUT vs SCOUT-OPT)", Fig13f},
-		{"fig14", "Figure 14", "Time breakdown vs dataset density", Fig14},
-		{"fig15", "Figure 15", "Graph building time vs result size", Fig15},
-		{"fig16", "Figure 16", "Prediction time per element vs query position", Fig16},
-		{"fig17a", "Figure 17(a)", "Accuracy across datasets, small queries", Fig17a},
-		{"fig17b", "Figure 17(b)", "Accuracy across datasets, large queries", Fig17b},
-		{"mem82", "§8.2", "Graph memory relative to result memory", Mem82},
-		{"ablation_strategy", "§5.2", "Deep vs broad prefetching (ablation)", AblationStrategy},
-		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning},
-		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans},
-		{"ablation_incremental", "§5.1", "Incremental ladder vs one-shot (ablation)", AblationIncremental},
+		{"fig3", "Figure 3", "Accuracy of state-of-the-art approaches vs query volume", Fig3, warmNeuro},
+		{"fig10", "Figure 10", "Microbenchmark parameter table", Fig10, nil},
+		{"fig11a", "Figure 11(a)", "Accuracy for all microbenchmarks", Fig11a, warmNeuro},
+		{"fig11b", "Figure 11(b)", "Speedup for all microbenchmarks", Fig11b, warmNeuro},
+		{"fig12", "Figure 12", "Accuracy and speedup with gaps", Fig12, warmNeuro},
+		{"fig13a", "Figure 13(a)", "Accuracy vs query volume", Fig13a, warmNeuro},
+		{"fig13b", "Figure 13(b)", "Accuracy vs dataset density", Fig13b, nil},
+		{"fig13c", "Figure 13(c)", "Accuracy vs sequence length", Fig13c, warmNeuro},
+		{"fig13d", "Figure 13(d)", "Accuracy vs prefetch window ratio", Fig13d, warmNeuro},
+		{"fig13e", "Figure 13(e)", "Accuracy vs grid resolution", Fig13e, warmNeuro},
+		{"fig13f", "Figure 13(f)", "Accuracy vs gap distance (SCOUT vs SCOUT-OPT)", Fig13f, warmNeuro},
+		{"fig14", "Figure 14", "Time breakdown vs dataset density", Fig14, nil},
+		{"fig15", "Figure 15", "Graph building time vs result size", Fig15, warmNeuro},
+		{"fig16", "Figure 16", "Prediction time per element vs query position", Fig16, warmNeuro},
+		{"fig17a", "Figure 17(a)", "Accuracy across datasets, small queries", Fig17a, warmApplicability},
+		{"fig17b", "Figure 17(b)", "Accuracy across datasets, large queries", Fig17b, warmApplicability},
+		{"mem82", "§8.2", "Graph memory relative to result memory", Mem82, warmNeuro},
+		{"ablation_strategy", "§5.2", "Deep vs broad prefetching (ablation)", AblationStrategy, warmNeuro},
+		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning, warmNeuro},
+		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans, warmNeuro},
+		{"ablation_incremental", "§5.1", "Incremental ladder vs one-shot (ablation)", AblationIncremental, warmNeuro},
 	}
 }
 

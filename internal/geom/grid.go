@@ -14,6 +14,13 @@ type Grid struct {
 
 // NewGrid creates a grid over bounds with the given per-axis cell counts.
 func NewGrid(bounds AABB, nx, ny, nz int) *Grid {
+	g := MakeGrid(bounds, nx, ny, nz)
+	return &g
+}
+
+// MakeGrid is NewGrid returning the Grid by value, for callers that embed
+// the grid in a reusable arena and must not allocate per reconfiguration.
+func MakeGrid(bounds AABB, nx, ny, nz int) Grid {
 	if nx < 1 || ny < 1 || nz < 1 {
 		panic("geom: grid cell counts must be >= 1")
 	}
@@ -21,7 +28,7 @@ func NewGrid(bounds AABB, nx, ny, nz int) *Grid {
 		panic("geom: grid over empty bounds")
 	}
 	s := bounds.Size()
-	return &Grid{
+	return Grid{
 		Bounds: bounds,
 		Nx:     nx, Ny: ny, Nz: nz,
 		cell: Vec3{s.X / float64(nx), s.Y / float64(ny), s.Z / float64(nz)},
@@ -33,6 +40,12 @@ func NewGrid(bounds AABB, nx, ny, nz int) *Grid {
 // is how the paper parameterizes grid resolution (Figure 13e sweeps the
 // total number of grid cells: 8, 64, 512, 4096, 32768).
 func NewGridWithCells(bounds AABB, totalCells int) *Grid {
+	g := MakeGridWithCells(bounds, totalCells)
+	return &g
+}
+
+// MakeGridWithCells is NewGridWithCells by value (see MakeGrid).
+func MakeGridWithCells(bounds AABB, totalCells int) Grid {
 	if totalCells < 1 {
 		totalCells = 1
 	}
@@ -40,7 +53,7 @@ func NewGridWithCells(bounds AABB, totalCells int) *Grid {
 	if n < 1 {
 		n = 1
 	}
-	return NewGrid(bounds, n, n, n)
+	return MakeGrid(bounds, n, n, n)
 }
 
 // NumCells returns the total number of cells in the grid.

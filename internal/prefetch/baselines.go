@@ -33,12 +33,16 @@ func (None) Reset() {}
 type StraightLine struct {
 	centers []geom.Vec3
 	volume  float64
+	// initVolume is the constructor's volume, restored by Reset so a reset
+	// prefetcher is indistinguishable from a fresh one (the parallel
+	// executor's determinism contract; see Cloner).
+	initVolume float64
 }
 
 // NewStraightLine creates the baseline; volume is the expected query volume
 // used to size prefetch regions.
 func NewStraightLine(volume float64) *StraightLine {
-	return &StraightLine{volume: volume}
+	return &StraightLine{volume: volume, initVolume: volume}
 }
 
 // Name implements Prefetcher.
@@ -69,7 +73,10 @@ func (s *StraightLine) Plan() Plan {
 }
 
 // Reset implements Prefetcher.
-func (s *StraightLine) Reset() { s.centers = s.centers[:0] }
+func (s *StraightLine) Reset() {
+	s.centers = s.centers[:0]
+	s.volume = s.initVolume
+}
 
 // Polynomial is the Polynomial extrapolation baseline (§2.2, [4, 5]): the
 // last degree+1 query positions are interpolated with a polynomial of the
@@ -77,9 +84,10 @@ func (s *StraightLine) Reset() { s.centers = s.centers[:0] }
 // it uses "as many recent query locations to interpolate as their degree
 // plus one".
 type Polynomial struct {
-	degree  int
-	centers []geom.Vec3
-	volume  float64
+	degree     int
+	centers    []geom.Vec3
+	volume     float64
+	initVolume float64
 }
 
 // NewPolynomial creates the baseline with the given degree (≥ 1).
@@ -87,7 +95,7 @@ func NewPolynomial(degree int, volume float64) *Polynomial {
 	if degree < 1 {
 		panic("prefetch: polynomial degree must be >= 1")
 	}
-	return &Polynomial{degree: degree, volume: volume}
+	return &Polynomial{degree: degree, volume: volume, initVolume: volume}
 }
 
 // Name implements Prefetcher.
@@ -121,7 +129,10 @@ func (p *Polynomial) Plan() Plan {
 }
 
 // Reset implements Prefetcher.
-func (p *Polynomial) Reset() { p.centers = p.centers[:0] }
+func (p *Polynomial) Reset() {
+	p.centers = p.centers[:0]
+	p.volume = p.initVolume
+}
 
 // lagrangeExtrapolate evaluates, at t = len(pts), the unique polynomial of
 // degree len(pts)−1 through (i, pts[i]).
@@ -153,9 +164,10 @@ type EWMA struct {
 	// stepLen smooths the movement magnitudes separately: averaging
 	// direction-decorrelated vectors shrinks their sum, which would make
 	// the extrapolated step undershoot systematically.
-	stepLen float64
-	seen    int
-	volume  float64
+	stepLen    float64
+	seen       int
+	volume     float64
+	initVolume float64
 }
 
 // NewEWMA creates the baseline with weighting factor lambda in (0, 1].
@@ -163,7 +175,7 @@ func NewEWMA(lambda, volume float64) *EWMA {
 	if lambda <= 0 || lambda > 1 {
 		panic("prefetch: EWMA lambda must be in (0,1]")
 	}
-	return &EWMA{lambda: lambda, volume: volume}
+	return &EWMA{lambda: lambda, volume: volume, initVolume: volume}
 }
 
 // Name implements Prefetcher.
@@ -204,6 +216,8 @@ func (e *EWMA) Reset() {
 	e.seen = 0
 	e.smoothed = geom.Vec3{}
 	e.last = geom.Vec3{}
+	e.stepLen = 0
+	e.volume = e.initVolume
 }
 
 // Hilbert is the Hilbert-Prefetch static baseline (§2.1, [22]): space is
@@ -219,8 +233,12 @@ type Hilbert struct {
 	// bits is the per-axis resolution (2^bits cells), derived from the
 	// observed query volume.
 	bits int
-	cur  geom.Vec3
-	seen bool
+	// initVolume/initBits are the constructor's parameters, restored by
+	// Reset (see StraightLine.initVolume).
+	initVolume float64
+	initBits   int
+	cur        geom.Vec3
+	seen       bool
 }
 
 // NewHilbert creates the baseline over the dataset's world bounds; volume is
@@ -229,8 +247,9 @@ func NewHilbert(world geom.AABB, volume float64, span int) *Hilbert {
 	if span < 1 {
 		span = 4
 	}
-	h := &Hilbert{world: world, span: span, bits: 4}
+	h := &Hilbert{world: world, span: span, bits: 4, initVolume: volume}
 	h.setBits(volume)
+	h.initBits = h.bits
 	return h
 }
 
@@ -284,22 +303,26 @@ func (h *Hilbert) Plan() Plan {
 }
 
 // Reset implements Prefetcher.
-func (h *Hilbert) Reset() { h.seen = false }
+func (h *Hilbert) Reset() {
+	h.seen = false
+	h.bits = h.initBits
+}
 
 // Layered is the static grid baseline (§2.1, [31]): the dataset is cut into
 // a grid and all cells surrounding the current location's cell are
 // prefetched. Cell size tracks the query volume so "surrounding" means one
 // query-sized shell.
 type Layered struct {
-	world  geom.AABB
-	volume float64
-	cur    geom.Vec3
-	seen   bool
+	world      geom.AABB
+	volume     float64
+	initVolume float64
+	cur        geom.Vec3
+	seen       bool
 }
 
 // NewLayered creates the baseline; volume sizes the grid cells.
 func NewLayered(world geom.AABB, volume float64) *Layered {
-	return &Layered{world: world, volume: volume}
+	return &Layered{world: world, volume: volume, initVolume: volume}
 }
 
 // Name implements Prefetcher.
@@ -336,7 +359,29 @@ func (l *Layered) Plan() Plan {
 }
 
 // Reset implements Prefetcher.
-func (l *Layered) Reset() { l.seen = false }
+func (l *Layered) Reset() {
+	l.seen = false
+	l.volume = l.initVolume
+}
+
+// Clone implements Cloner.
+func (None) Clone() Prefetcher { return None{} }
+
+// Clone implements Cloner. Clones are built from the constructor-time
+// parameters (not the Observe-mutated state), matching what Reset restores.
+func (s *StraightLine) Clone() Prefetcher { return NewStraightLine(s.initVolume) }
+
+// Clone implements Cloner.
+func (p *Polynomial) Clone() Prefetcher { return NewPolynomial(p.degree, p.initVolume) }
+
+// Clone implements Cloner.
+func (e *EWMA) Clone() Prefetcher { return NewEWMA(e.lambda, e.initVolume) }
+
+// Clone implements Cloner.
+func (h *Hilbert) Clone() Prefetcher { return NewHilbert(h.world, h.initVolume, h.span) }
+
+// Clone implements Cloner.
+func (l *Layered) Clone() Prefetcher { return NewLayered(l.world, l.initVolume) }
 
 var (
 	_ Prefetcher = None{}
@@ -345,4 +390,10 @@ var (
 	_ Prefetcher = (*EWMA)(nil)
 	_ Prefetcher = (*Hilbert)(nil)
 	_ Prefetcher = (*Layered)(nil)
+	_ Cloner     = None{}
+	_ Cloner     = (*StraightLine)(nil)
+	_ Cloner     = (*Polynomial)(nil)
+	_ Cloner     = (*EWMA)(nil)
+	_ Cloner     = (*Hilbert)(nil)
+	_ Cloner     = (*Layered)(nil)
 )

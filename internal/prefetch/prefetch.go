@@ -82,6 +82,17 @@ type Prefetcher interface {
 	Reset()
 }
 
+// Cloner is implemented by prefetchers that can produce an independent copy
+// of themselves in freshly-constructed state, sharing only immutable data
+// (store, index, dataset adjacency). The parallel experiment executor clones
+// one prefetcher per worker; because Reset must also return a prefetcher to
+// its fresh state (RNG included), a cloned prefetcher run on any subset of
+// sequences produces exactly the per-sequence results of a sequential run.
+// Prefetchers without Clone are executed sequentially.
+type Cloner interface {
+	Clone() Prefetcher
+}
+
 // IncrementalRequests builds the growing prefetch-query ladder of §5.1 and
 // Figure 6: the first region is small and anchored at the expected entry
 // point E of the next query, and each subsequent region grows from that

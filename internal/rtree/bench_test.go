@@ -34,12 +34,31 @@ func BenchmarkQueryPages(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	q := geom.CubeAt(geom.V(250, 250, 250), 80_000)
+	var q geom.Region = geom.CubeAt(geom.V(250, 250, 250), 80_000)
 	var buf []pagestore.PageID
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = tree.QueryPages(q, buf[:0])
+	}
+}
+
+// BenchmarkQueryPagesPointer is the before/after baseline for the flat-tree
+// refactor: the same query against the pointer-chased reference tree the SoA
+// layout replaced (see flat_test.go). Compare against BenchmarkQueryPages.
+func BenchmarkQueryPagesPointer(b *testing.B) {
+	store := pagestore.NewStore(uniformObjects(200_000, 500, 2))
+	tree, err := BulkLoad(store, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := buildPointerTree(store, tree.Fanout())
+	var q geom.Region = geom.CubeAt(geom.V(250, 250, 250), 80_000)
+	var buf []pagestore.PageID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ref.queryPagesStack(q, buf[:0])
 	}
 }
 

@@ -7,11 +7,20 @@
 // objects per leaf page, as in §7.1), and the leaf pages become the R-tree's
 // leaf level. Inner nodes are modeled as memory-resident — the paper charges
 // I/O for data pages, and SCOUT treats index traversal cost as CPU time.
+//
+// The tree is stored as an implicit structure-of-arrays layout: one
+// contiguous MBR slice per level, with arithmetic child addressing. STR
+// packing makes every parent's children a consecutive run of exactly Fanout
+// nodes (the last parent per level may be partial), so the children of node
+// i at level l are nodes [i·Fanout, (i+1)·Fanout) of level l+1, and leaf
+// node i IS page i. There are no per-node heap objects and no pointers to
+// chase, and queries allocate nothing beyond the caller's result slice.
 package rtree
 
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"scout/internal/geom"
 	"scout/internal/pagestore"
@@ -21,19 +30,18 @@ import (
 // for concurrent readers.
 type Tree struct {
 	store  *pagestore.Store
-	root   *node
-	height int
 	fanout int
+	height int
+	// levels[l] holds the MBRs of every node at depth l, root first
+	// (len(levels[0]) == 1) down to levels[height-1], the leaf level, where
+	// node i is page i. Children of node i at level l are the consecutive
+	// run levels[l+1][i*fanout : min((i+1)*fanout, len(levels[l+1]))].
+	levels [][]geom.AABB
 	// nodesVisited counts inner+leaf node inspections across all queries,
-	// for cost accounting experiments. Guarded by nothing: reset between
-	// single-threaded experiment runs.
-	nodesVisited int64
-}
-
-type node struct {
-	mbr      geom.AABB
-	children []*node          // nil at the leaf level
-	page     pagestore.PageID // valid at the leaf level only
+	// for cost accounting experiments. Atomic so concurrent experiment
+	// workers sharing one tree do not race; queries accumulate locally and
+	// publish once per call.
+	nodesVisited atomic.Int64
 }
 
 // Config controls bulk loading.
@@ -74,37 +82,36 @@ func BulkLoad(store *pagestore.Store, cfg Config) (*Tree, error) {
 func Build(store *pagestore.Store, cfg Config) (*Tree, error) {
 	cfg = cfg.withDefaults()
 	t := &Tree{store: store, fanout: cfg.Fanout}
-
-	level := make([]*node, store.NumPages())
-	for p := 0; p < store.NumPages(); p++ {
-		level[p] = &node{
-			mbr:  store.PageBounds(pagestore.PageID(p)),
-			page: pagestore.PageID(p),
-		}
+	if store.NumPages() == 0 {
+		return t, nil
 	}
-	t.height = 1
+
+	leaves := make([]geom.AABB, store.NumPages())
+	for p := range leaves {
+		leaves[p] = store.PageBounds(pagestore.PageID(p))
+	}
 	// Pack consecutive runs of children into parents. Children are already
 	// in STR order, so consecutive grouping preserves spatial locality —
-	// this is the standard second phase of STR packing.
-	for len(level) > 1 {
-		parents := make([]*node, 0, (len(level)+cfg.Fanout-1)/cfg.Fanout)
+	// this is the standard second phase of STR packing. Building bottom-up
+	// and reversing afterwards keeps levels[0] the root.
+	t.levels = [][]geom.AABB{leaves}
+	for level := leaves; len(level) > 1; {
+		parents := make([]geom.AABB, 0, (len(level)+cfg.Fanout-1)/cfg.Fanout)
 		for start := 0; start < len(level); start += cfg.Fanout {
-			end := start + cfg.Fanout
-			if end > len(level) {
-				end = len(level)
-			}
+			end := min(start+cfg.Fanout, len(level))
 			mbr := geom.EmptyAABB()
 			for _, c := range level[start:end] {
-				mbr = mbr.Union(c.mbr)
+				mbr = mbr.Union(c)
 			}
-			parents = append(parents, &node{mbr: mbr, children: level[start:end]})
+			parents = append(parents, mbr)
 		}
+		t.levels = append(t.levels, parents)
 		level = parents
-		t.height++
 	}
-	if len(level) == 1 {
-		t.root = level[0]
+	for i, j := 0, len(t.levels)-1; i < j; i, j = i+1, j-1 {
+		t.levels[i], t.levels[j] = t.levels[j], t.levels[i]
 	}
+	t.height = len(t.levels)
 	return t, nil
 }
 
@@ -176,38 +183,55 @@ func (t *Tree) Store() *pagestore.Store { return t.store }
 // Height returns the number of levels, leaves included.
 func (t *Tree) Height() int { return t.height }
 
+// Fanout returns the inner-node fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
 // QueryPages appends to dst the IDs of all leaf pages whose MBR intersects
 // the region — the pages a real system would read from disk to answer the
-// query.
+// query. Pages are appended in ascending page-ID order (the tree's implicit
+// layout is the STR storage order), which is also ascending physical order.
 func (t *Tree) QueryPages(r geom.Region, dst []pagestore.PageID) []pagestore.PageID {
-	if t.root == nil {
+	if t.height == 0 {
 		return dst
 	}
 	rb := r.Bounds()
-	stack := make([]*node, 0, t.height*t.fanout)
-	stack = append(stack, t.root)
-	for len(stack) > 0 {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		t.nodesVisited++
-		if !nd.mbr.Intersects(rb) || !r.IntersectsAABB(nd.mbr) {
-			continue
-		}
-		if nd.children == nil {
-			dst = append(dst, nd.page)
-			continue
-		}
-		for _, c := range nd.children {
-			stack = append(stack, c)
-		}
-	}
+	dst, visited := t.query(r, rb, 0, 0, dst)
+	t.nodesVisited.Add(visited)
 	return dst
 }
 
+// query descends the implicit tree from node `node` at depth `level`,
+// returning the grown result slice and the number of nodes inspected in the
+// subtree. Recursion depth equals tree height (≤ 4 even at hundreds of
+// millions of objects with the paper's fanout), and nothing escapes to the
+// heap.
+func (t *Tree) query(r geom.Region, rb geom.AABB, level, node int, dst []pagestore.PageID) ([]pagestore.PageID, int64) {
+	visited := int64(1)
+	mbr := t.levels[level][node]
+	if !mbr.Intersects(rb) || !r.IntersectsAABB(mbr) {
+		return dst, visited
+	}
+	if level == t.height-1 {
+		return append(dst, pagestore.PageID(node)), visited
+	}
+	child := t.levels[level+1]
+	lo := node * t.fanout
+	hi := min(lo+t.fanout, len(child))
+	for c := lo; c < hi; c++ {
+		var sub int64
+		dst, sub = t.query(r, rb, level+1, c, dst)
+		visited += sub
+	}
+	return dst, visited
+}
+
 // QueryObjects appends to dst the IDs of all objects matching the region,
-// by filtering the objects of every candidate page.
+// by filtering the objects of every candidate page. The page scan reuses a
+// stack buffer for typical result sizes, so steady-state queries allocate
+// only when dst grows.
 func (t *Tree) QueryObjects(r geom.Region, dst []pagestore.ObjectID) []pagestore.ObjectID {
-	pages := t.QueryPages(r, nil)
+	var pageArr [512]pagestore.PageID
+	pages := t.QueryPages(r, pageArr[:0])
 	for _, p := range pages {
 		for _, id := range t.store.PageObjects(p) {
 			if pagestore.Matches(r, t.store.Object(id)) {
@@ -219,7 +243,7 @@ func (t *Tree) QueryObjects(r geom.Region, dst []pagestore.ObjectID) []pagestore
 }
 
 // NodesVisited returns the cumulative number of nodes inspected by queries.
-func (t *Tree) NodesVisited() int64 { return t.nodesVisited }
+func (t *Tree) NodesVisited() int64 { return t.nodesVisited.Load() }
 
 // ResetNodesVisited zeroes the node-visit counter.
-func (t *Tree) ResetNodesVisited() { t.nodesVisited = 0 }
+func (t *Tree) ResetNodesVisited() { t.nodesVisited.Store(0) }

@@ -49,6 +49,22 @@ func BenchmarkGraphBuildCoarse1k(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphReuse is the arena counterpart of BenchmarkGraphBuild1k:
+// the same per-query graph build through the Reset lifecycle SCOUT uses,
+// recycling all backing storage. Compare allocs/op against the fresh build.
+func BenchmarkGraphReuse(b *testing.B) {
+	store, bounds, ids := benchWorld(1000)
+	g := New(store, bounds, 32768)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset(bounds, 32768)
+		for _, id := range ids {
+			g.AddObject(id)
+		}
+	}
+}
+
 func BenchmarkReachableCrossings(b *testing.B) {
 	store, bounds, ids := benchWorld(1000)
 	g := Build(store, bounds, 32768, ids)

@@ -95,11 +95,9 @@ func (g *Graph) ReachableCrossings(start []int32, region geom.Region) []Boundary
 	if len(g.ids) == 0 || len(start) == 0 {
 		return nil
 	}
-	visited := make([]bool, len(g.ids))
-	stack := make([]int32, 0, len(start))
+	stack := g.beginVisit()
 	for _, v := range start {
-		if v >= 0 && int(v) < len(g.ids) && !visited[v] {
-			visited[v] = true
+		if v >= 0 && int(v) < len(g.ids) && !g.visitedOnce(v) {
 			stack = append(stack, v)
 		}
 	}
@@ -111,12 +109,12 @@ func (g *Graph) ReachableCrossings(start []int32, region geom.Region) []Boundary
 		crossings = append(crossings, g.crossingsOf(v, region)...)
 		for _, w := range g.adj[v] {
 			g.ops++
-			if !visited[w] {
-				visited[w] = true
+			if !g.visitedOnce(w) {
 				stack = append(stack, w)
 			}
 		}
 	}
+	g.stack = stack[:0]
 	return crossings
 }
 
@@ -125,12 +123,10 @@ func (g *Graph) ReachableFrom(start []int32) []int32 {
 	if len(start) == 0 {
 		return nil
 	}
-	visited := make([]bool, len(g.ids))
-	stack := make([]int32, 0, len(start))
+	stack := g.beginVisit()
 	var out []int32
 	for _, v := range start {
-		if v >= 0 && int(v) < len(g.ids) && !visited[v] {
-			visited[v] = true
+		if v >= 0 && int(v) < len(g.ids) && !g.visitedOnce(v) {
 			stack = append(stack, v)
 		}
 	}
@@ -141,12 +137,12 @@ func (g *Graph) ReachableFrom(start []int32) []int32 {
 		out = append(out, v)
 		for _, w := range g.adj[v] {
 			g.ops++
-			if !visited[w] {
-				visited[w] = true
+			if !g.visitedOnce(w) {
 				stack = append(stack, w)
 			}
 		}
 	}
+	g.stack = stack[:0]
 	return out
 }
 
@@ -190,7 +186,7 @@ func (g *Graph) CrossingsNearDir(region geom.Region, points []geom.Vec3, dirs []
 func (g *Graph) VerticesOfObjects(ids []pagestore.ObjectID) []int32 {
 	var out []int32
 	for _, id := range ids {
-		if v, ok := g.vert[id]; ok {
+		if v, ok := g.vert.get(uint32(id)); ok {
 			out = append(out, v)
 		}
 	}

@@ -13,6 +13,17 @@
 // building with result retrieval (§4), and SCOUT-OPT's sparse construction
 // adds one page at a time (§6.2) — so vertices may be added at any moment,
 // with union-find connectivity kept current throughout.
+//
+// A Graph is an arena: Reset reconfigures it for a new query region while
+// recycling every backing array, so a prefetcher that rebuilds its graph
+// per query (the paper's lifecycle) runs allocation-free at steady state.
+// The per-query structures that made the seed implementation allocation-
+// heavy — a map[int][]int32 of grid cells and a map[ObjectID]int32 vertex
+// table, both rebuilt and discarded each query — are replaced by an
+// epoch-stamped dense cell directory (falling back to an open-addressed
+// table at extreme resolutions) with an array-linked occupant chain, and an
+// open-addressed vertex table. Epoch stamps make clearing O(1): bumping the
+// epoch invalidates every slot at once.
 package sgraph
 
 import (
@@ -20,29 +31,57 @@ import (
 	"scout/internal/pagestore"
 )
 
+// maxDenseCells bounds the dense cell directory. The paper's operating
+// points (Figure 13e sweeps 8..32768 total cells) all fit; resolutions
+// beyond it use the open-addressed table instead so memory stays
+// proportional to cells actually touched.
+const maxDenseCells = 1 << 18
+
 // Graph is the approximate graph of a query result. It is built for one
-// region and discarded after the next prediction — exactly the lifecycle of
-// the paper's design, which rebuilds per query rather than precomputing a
-// dataset-wide graph.
+// region and rebuilt for the next — exactly the lifecycle of the paper's
+// design, which rebuilds per query rather than precomputing a dataset-wide
+// graph. Reset recycles all storage between queries.
 type Graph struct {
-	store *pagestore.Store
-	grid  *geom.Grid
-	// cells maps a grid cell to the vertices passing through it.
-	cells map[int][]int32
-	ids   []pagestore.ObjectID
-	vert  map[pagestore.ObjectID]int32
-	adj   [][]int32
+	store  *pagestore.Store
+	grid   geom.Grid
+	gridOn bool
+
+	ids  []pagestore.ObjectID
+	vert intMap // object ID → vertex
+	adj  [][]int32
+	// edges counts undirected edges.
 	edges int
 	// parent/rank implement union-find over vertices for O(α) incremental
 	// connectivity, used by sparse construction and component extraction.
 	parent []int32
 	rank   []int8
+
+	// Grid-cell directory: cell index → head of its occupant chain in
+	// entVert/entNext (−1 terminates). Dense mode indexes cellHead by cell
+	// directly, with cellGen validating slots against cellEpoch; sparse
+	// mode keys the open-addressed cellMap by cell index instead.
+	denseCells bool
+	cellHead   []int32
+	cellGen    []uint32
+	cellEpoch  uint32
+	cellMap    intMap
+	entVert    []int32
+	entNext    []int32
+	// cellsTouched counts distinct cells with at least one occupant this
+	// query, for memory accounting (§8.2).
+	cellsTouched int
+
 	// ops counts elementary traversal operations (vertex pops and edge
 	// scans); Figures 14 and 16 report prediction cost, which this counter
 	// makes deterministic and machine-independent.
 	ops int64
-	// cellScratch avoids re-allocating the voxel-walk buffer per object.
+	// cellScratch avoids re-allocating the voxel-walk buffer per object;
+	// visitGen/visitEpoch/stack recycle the traversal working set of
+	// ReachableFrom and ReachableCrossings the same way.
 	cellScratch []int
+	visitGen    []uint32
+	visitEpoch  uint32
+	stack       []int32
 }
 
 // New creates an empty graph whose grid hashing covers bounds with the given
@@ -50,14 +89,8 @@ type Graph struct {
 // of 0 disables grid hashing; vertices are then connected only explicitly
 // via ConnectExplicit (the polygon-mesh path).
 func New(store *pagestore.Store, bounds geom.AABB, resolution int) *Graph {
-	g := &Graph{
-		store: store,
-		cells: make(map[int][]int32),
-		vert:  make(map[pagestore.ObjectID]int32),
-	}
-	if resolution > 0 {
-		g.grid = geom.NewGridWithCells(bounds, resolution)
-	}
+	g := &Graph{store: store}
+	g.Reset(bounds, resolution)
 	return g
 }
 
@@ -69,6 +102,48 @@ func Build(store *pagestore.Store, bounds geom.AABB, resolution int, result []pa
 		g.AddObject(id)
 	}
 	return g
+}
+
+// Reset reconfigures the graph for a new query region, dropping all vertices
+// and edges while keeping every backing array for reuse. A graph reset for
+// each query behaves identically to a freshly allocated one but stops
+// allocating once its arenas have grown to the workload's steady state.
+func (g *Graph) Reset(bounds geom.AABB, resolution int) {
+	g.ids = g.ids[:0]
+	g.adj = g.adj[:0]
+	g.parent = g.parent[:0]
+	g.rank = g.rank[:0]
+	g.edges = 0
+	g.vert.reset()
+	g.entVert = g.entVert[:0]
+	g.entNext = g.entNext[:0]
+	g.cellsTouched = 0
+
+	g.gridOn = resolution > 0
+	if !g.gridOn {
+		return
+	}
+	g.grid = geom.MakeGridWithCells(bounds, resolution)
+	n := g.grid.NumCells()
+	g.denseCells = n <= maxDenseCells
+	if g.denseCells {
+		if cap(g.cellHead) < n {
+			g.cellHead = make([]int32, n)
+			g.cellGen = make([]uint32, n)
+		} else {
+			g.cellHead = g.cellHead[:n]
+			g.cellGen = g.cellGen[:n]
+		}
+		g.cellEpoch++
+		if g.cellEpoch == 0 { // wrapped: stale stamps could collide, clear
+			for i := range g.cellGen {
+				g.cellGen[i] = 0
+			}
+			g.cellEpoch = 1
+		}
+	} else {
+		g.cellMap.reset()
+	}
 }
 
 // NumVertices returns the number of vertices added so far.
@@ -87,7 +162,7 @@ func (g *Graph) ObjectOf(v int32) pagestore.Object {
 
 // VertexOf returns the vertex of an object, or -1 when absent.
 func (g *Graph) VertexOf(id pagestore.ObjectID) int32 {
-	if v, ok := g.vert[id]; ok {
+	if v, ok := g.vert.get(uint32(id)); ok {
 		return v
 	}
 	return -1
@@ -95,36 +170,71 @@ func (g *Graph) VertexOf(id pagestore.ObjectID) int32 {
 
 // Contains reports whether the object is already a vertex.
 func (g *Graph) Contains(id pagestore.ObjectID) bool {
-	_, ok := g.vert[id]
+	_, ok := g.vert.get(uint32(id))
 	return ok
 }
 
 // Adj returns the adjacency list of vertex v. Callers must not modify it.
 func (g *Graph) Adj(v int32) []int32 { return g.adj[v] }
 
+// cellChain returns the head of the occupant chain of cell c, or −1.
+func (g *Graph) cellChain(c int) int32 {
+	if g.denseCells {
+		if g.cellGen[c] != g.cellEpoch {
+			return -1
+		}
+		return g.cellHead[c]
+	}
+	if h, ok := g.cellMap.get(uint32(c)); ok {
+		return h
+	}
+	return -1
+}
+
+// setCellChain updates the occupant-chain head of cell c.
+func (g *Graph) setCellChain(c int, head int32) {
+	if g.denseCells {
+		g.cellHead[c] = head
+		g.cellGen[c] = g.cellEpoch
+		return
+	}
+	g.cellMap.put(uint32(c), head)
+}
+
 // AddObject inserts the object as a vertex (idempotently) and, when grid
 // hashing is enabled, connects it to every object sharing a grid cell.
 // It returns the object's vertex.
 func (g *Graph) AddObject(id pagestore.ObjectID) int32 {
-	if v, ok := g.vert[id]; ok {
+	if v, ok := g.vert.get(uint32(id)); ok {
 		return v
 	}
 	v := int32(len(g.ids))
 	g.ids = append(g.ids, id)
-	g.vert[id] = v
-	g.adj = append(g.adj, nil)
+	g.vert.put(uint32(id), v)
+	if len(g.adj) < cap(g.adj) {
+		// Recycle the retired adjacency list parked at this slot.
+		g.adj = g.adj[:v+1]
+		g.adj[v] = g.adj[v][:0]
+	} else {
+		g.adj = append(g.adj, nil)
+	}
 	g.parent = append(g.parent, v)
 	g.rank = append(g.rank, 0)
 
-	if g.grid != nil {
+	if g.gridOn {
 		o := g.store.Object(id)
 		g.cellScratch = g.grid.SegmentCells(o.Seg, g.cellScratch[:0])
 		for _, c := range g.cellScratch {
-			occupants := g.cells[c]
-			for _, w := range occupants {
-				g.connect(v, w)
+			head := g.cellChain(c)
+			if head < 0 {
+				g.cellsTouched++
 			}
-			g.cells[c] = append(occupants, v)
+			for e := head; e >= 0; e = g.entNext[e] {
+				g.connect(v, g.entVert[e])
+			}
+			g.entVert = append(g.entVert, v)
+			g.entNext = append(g.entNext, head)
+			g.setCellChain(c, int32(len(g.entVert))-1)
 		}
 	}
 	return v
@@ -214,20 +324,48 @@ func (g *Graph) Components() [][]int32 {
 // Ops returns the cumulative count of elementary traversal operations.
 func (g *Graph) Ops() int64 { return g.ops }
 
+// beginVisit prepares the recycled visited-set for a new traversal and
+// returns the (empty) recycled stack. A vertex is marked visited by stamping
+// visitGen[v] with the current epoch.
+func (g *Graph) beginVisit() []int32 {
+	if len(g.visitGen) < len(g.ids) {
+		g.visitGen = make([]uint32, len(g.ids)+len(g.ids)/2)
+		g.visitEpoch = 0
+	}
+	g.visitEpoch++
+	if g.visitEpoch == 0 {
+		for i := range g.visitGen {
+			g.visitGen[i] = 0
+		}
+		g.visitEpoch = 1
+	}
+	return g.stack[:0]
+}
+
+// visited reports and sets the visit mark of v for the current traversal.
+func (g *Graph) visitedOnce(v int32) bool {
+	if g.visitGen[v] == g.visitEpoch {
+		return true
+	}
+	g.visitGen[v] = g.visitEpoch
+	return false
+}
+
 // MemoryBytes estimates the memory footprint of the graph's major data
-// structures — adjacency lists, vertex table and grid cells — mirroring the
-// accounting of §8.2 ("the graph (adjacency list) and queues used for graph
-// traversal").
+// structures — adjacency lists, vertex table and grid-cell directory —
+// mirroring the accounting of §8.2 ("the graph (adjacency list) and queues
+// used for graph traversal"). Only slots live for the current query are
+// charged: the arena's recycled capacity belongs to the prefetcher, not to
+// this query's graph.
 func (g *Graph) MemoryBytes() int64 {
 	var b int64
-	b += int64(len(g.ids)) * 4           // ids
-	b += int64(len(g.ids)) * (4 + 4 + 8) // vert map entries (approx)
-	b += int64(len(g.ids)) * 5           // parent + rank
+	b += int64(len(g.ids)) * 4               // ids
+	b += int64(len(g.ids)) * (4 + 4 + 4)     // vertex-table slot (key+val+gen)
+	b += int64(len(g.ids)) * 5               // parent + rank
+	b += int64(len(g.entVert)) * (4 + 4)     // cell occupant chain entries
+	b += int64(g.cellsTouched) * (4 + 4 + 4) // cell directory slots (head+gen+key)
 	for _, a := range g.adj {
-		b += 24 + int64(cap(a))*4 // slice header + payload
-	}
-	for _, occ := range g.cells {
-		b += 8 + 24 + int64(cap(occ))*4
+		b += 24 + int64(len(a))*4 // slice header + payload
 	}
 	return b
 }

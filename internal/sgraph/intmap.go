@@ -1,0 +1,99 @@
+package sgraph
+
+// intMap is a linear-probed open-addressed hash table from uint32 keys to
+// int32 values with epoch-stamped slots: reset invalidates every entry by
+// bumping the epoch instead of clearing memory, and the backing arrays are
+// recycled across queries. It replaces the Go maps the seed implementation
+// rebuilt and discarded per query (grid cells, the vertex table), which
+// dominated the hot path's allocation profile.
+type intMap struct {
+	keys []uint32
+	vals []int32
+	gens []uint32
+	gen  uint32
+	n    int
+}
+
+// hashKey mixes the key so clustered inputs (consecutive object IDs, voxel
+// indices along a walk) spread across the table: Fibonacci multiply + fold.
+func hashKey(k uint32) uint32 {
+	h := k * 2654435769
+	return h ^ (h >> 16)
+}
+
+// reset invalidates all entries in O(1), keeping capacity.
+func (m *intMap) reset() {
+	m.n = 0
+	m.gen++
+	if m.gen == 0 { // wrapped: stale stamps could collide with a live epoch
+		for i := range m.gens {
+			m.gens[i] = 0
+		}
+		m.gen = 1
+	}
+}
+
+// get returns the value stored under k.
+func (m *intMap) get(k uint32) (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint32(len(m.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if m.gens[i] != m.gen {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// put inserts or overwrites the value under k.
+func (m *intMap) put(k uint32, v int32) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	mask := uint32(len(m.keys) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		if m.gens[i] != m.gen {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.gens[i] = m.gen
+			m.n++
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+}
+
+// grow doubles the table (min 64 slots) and rehashes the live entries.
+func (m *intMap) grow() {
+	size := 2 * len(m.keys)
+	if size < 64 {
+		size = 64
+	}
+	keys := make([]uint32, size)
+	vals := make([]int32, size)
+	gens := make([]uint32, size)
+	mask := uint32(size - 1)
+	for i, g := range m.gens {
+		if g != m.gen {
+			continue
+		}
+		k := m.keys[i]
+		for j := hashKey(k) & mask; ; j = (j + 1) & mask {
+			if gens[j] != m.gen {
+				keys[j], vals[j], gens[j] = k, m.vals[i], m.gen
+				break
+			}
+		}
+	}
+	m.keys, m.vals, m.gens = keys, vals, gens
+	if m.gen == 0 { // fresh table with gen 0 would mark every slot live
+		m.gen = 1
+	}
+}
