@@ -1,0 +1,107 @@
+// Command benchdiff compares a fresh scoutbench -benchjson run against the
+// committed BENCH_hotpath.json baseline and fails (exit 1) when any
+// experiment regressed in wall-clock beyond the tolerance. CI runs it so the
+// perf trajectory is enforced, not just recorded.
+//
+// Wall-clock comparisons across different machines are inherently noisy; the
+// default tolerance (25%) absorbs typical CI-runner variance, and
+// -max-regress (or the BENCH_TOLERANCE environment variable) widens it for
+// noisier fleets. Experiments present in only one file are reported but
+// never fail the diff.
+//
+// Usage:
+//
+//	scoutbench -exp fig3,fig13a -scale 0.05 -seqs 4 -benchjson BENCH_fresh.json
+//	benchdiff -baseline BENCH_hotpath.json -fresh BENCH_fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"scout/internal/benchfmt"
+)
+
+func load(path string) (benchfmt.File, error) {
+	var bf benchfmt.File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
+		freshPath    = flag.String("fresh", "BENCH_fresh.json", "freshly generated JSON to compare")
+		maxRegress   = flag.Float64("max-regress", 0.25, "max per-experiment wall-clock regression (0.25 = +25%)")
+	)
+	flag.Parse()
+
+	if env := os.Getenv("BENCH_TOLERANCE"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: bad BENCH_TOLERANCE:", err)
+			os.Exit(2)
+		}
+		*maxRegress = v
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Scale != fresh.Scale || base.Sequences != fresh.Sequences || base.Seed != fresh.Seed {
+		fmt.Fprintf(os.Stderr, "benchdiff: configuration mismatch (scale %v vs %v, seqs %d vs %d, seed %d vs %d) — comparison void\n",
+			base.Scale, fresh.Scale, base.Sequences, fresh.Sequences, base.Seed, fresh.Seed)
+		os.Exit(2)
+	}
+
+	byID := map[string]benchfmt.Record{}
+	for _, r := range base.Experiments {
+		byID[r.ID] = r
+	}
+
+	fmt.Printf("%-26s %12s %12s %9s\n", "experiment", "baseline ms", "fresh ms", "delta")
+	failed := false
+	for _, fr := range fresh.Experiments {
+		br, ok := byID[fr.ID]
+		if !ok {
+			fmt.Printf("%-26s %12s %12.1f %9s\n", fr.ID, "-", fr.WallMS, "new")
+			continue
+		}
+		delete(byID, fr.ID)
+		delta := 0.0
+		if br.WallMS > 0 {
+			delta = fr.WallMS/br.WallMS - 1
+		}
+		marker := ""
+		if delta > *maxRegress {
+			marker = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-26s %12.1f %12.1f %+8.1f%%%s\n", fr.ID, br.WallMS, fr.WallMS, delta*100, marker)
+	}
+	for id := range byID {
+		fmt.Printf("%-26s %12.1f %12s %9s\n", id, byID[id].WallMS, "-", "missing")
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock regression beyond %.0f%% — investigate or refresh the baseline\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (tolerance %.0f%%)\n", *maxRegress*100)
+}

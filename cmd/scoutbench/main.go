@@ -24,45 +24,27 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"scout/internal/benchfmt"
 	"scout/internal/experiments"
 )
 
-// benchRecord is one experiment's timing in the -benchjson output.
-type benchRecord struct {
-	ID string `json:"id"`
-	// WallMS is the wall-clock of the (parallel) run in milliseconds.
-	WallMS float64 `json:"wall_ms"`
-	// SequentialWallMS is filled only with -compare.
-	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
-	// Speedup is SequentialWallMS / WallMS (with -compare).
-	Speedup float64 `json:"speedup,omitempty"`
-}
-
-// benchFile is the schema of BENCH_hotpath.json.
-type benchFile struct {
-	Scale       float64       `json:"scale"`
-	Sequences   int           `json:"sequences"`
-	Seed        int64         `json:"seed"`
-	Workers     int           `json:"workers"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	TotalWallMS float64       `json:"total_wall_ms"`
-	Experiments []benchRecord `json:"experiments"`
-}
-
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		exp     = flag.String("exp", "all", "experiment id to run, or 'all'")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md scale)")
-		seqs    = flag.Int("seqs", 0, "override sequences per measurement (0 = paper count)")
-		seed    = flag.Int64("seed", 7, "workload random seed")
-		workers = flag.Int("workers", 0, "sequence-level worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
-		compare = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
-		jsonOut = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
-		verbose = flag.Bool("v", false, "print progress while running")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		exp        = flag.String("exp", "all", "experiment id to run, or 'all'")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md scale)")
+		seqs       = flag.Int("seqs", 0, "override sequences per measurement (0 = paper count)")
+		seed       = flag.Int64("seed", 7, "workload random seed")
+		workers    = flag.Int("workers", 0, "sequence-level worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
+		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
+		verbose    = flag.Bool("v", false, "print progress while running")
 	)
 	flag.Parse()
 
@@ -122,7 +104,23 @@ func main() {
 		}
 	}
 
-	out := benchFile{
+	// Profiling starts after dataset warm-up so profiles capture hot-path
+	// experiment execution, not one-time generation.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	out := benchfmt.File{
 		Scale:      *scale,
 		Sequences:  *seqs,
 		Seed:       *seed,
@@ -140,7 +138,7 @@ func main() {
 		total += wall
 		fmt.Println(res.String())
 
-		rec := benchRecord{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000}
+		rec := benchfmt.Record{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000}
 		if *compare {
 			seqStart := time.Now()
 			seqRes := e.Run(seqEnv)
@@ -162,6 +160,21 @@ func main() {
 	out.TotalWallMS = float64(total.Microseconds()) / 1000
 	fmt.Printf("total wall-clock: %s (%d experiments, workers=%d)\n",
 		total.Round(time.Millisecond), len(toRun), effectiveWorkers(*workers))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
 
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,27 @@
+// Package benchfmt defines the JSON schema of scoutbench's -benchjson
+// output (the committed BENCH_hotpath.json baseline). It is shared by the
+// writer (cmd/scoutbench) and the reader (cmd/benchdiff) so the CI
+// regression gate can never silently drift out of sync with the producer.
+package benchfmt
+
+// Record is one experiment's timing.
+type Record struct {
+	ID string `json:"id"`
+	// WallMS is the wall-clock of the (parallel) run in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SequentialWallMS is filled only with -compare.
+	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
+	// Speedup is SequentialWallMS / WallMS (with -compare).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// File is the schema of BENCH_hotpath.json.
+type File struct {
+	Scale       float64  `json:"scale"`
+	Sequences   int      `json:"sequences"`
+	Seed        int64    `json:"seed"`
+	Workers     int      `json:"workers"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	TotalWallMS float64  `json:"total_wall_ms"`
+	Experiments []Record `json:"experiments"`
+}

@@ -75,3 +75,70 @@ func BenchmarkScoutOptObserve(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obs)), "ns/query")
 }
+
+// overlapSetup builds observations for a heavily overlapping guided walk
+// (75% step overlap, no jitter): the workload shape where consecutive query
+// results share most of their objects and the incremental graph lifecycle
+// replaces full rebuilds with delta advances.
+func overlapSetup(b *testing.B) (*pagestore.Store, []prefetch.Observation) {
+	b.Helper()
+	ds := dataset.GenerateNeuro(dataset.NeuroConfig{NumObjects: 60_000, Seed: 1})
+	store := pagestore.NewStore(ds.Objects)
+	tree, err := rtree.BulkLoad(store, rtree.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs, err := workload.GenerateMany(ds, workload.Params{
+		Queries: 25, Volume: 80_000, WindowRatio: 1, Overlap: 0.75, Jitter: -1,
+	}, 1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obs []prefetch.Observation
+	for qi, q := range seqs[0].Queries {
+		obs = append(obs, prefetch.Observation{
+			Seq:    qi,
+			Region: q.Region,
+			Center: q.Center,
+			Result: tree.QueryObjects(q.Region, nil),
+			Pages:  tree.QueryPages(q.Region, nil),
+		})
+	}
+	return store, obs
+}
+
+// BenchmarkScoutObserveOverlap measures the incremental lifecycle's home
+// turf: consecutive results overlap ~75%, so steady-state queries advance
+// the graph instead of rebuilding it. Compare against the same benchmark
+// with DisableIncremental (BenchmarkScoutObserveOverlapFull).
+func BenchmarkScoutObserveOverlap(b *testing.B) {
+	store, obs := overlapSetup(b)
+	s := New(store, nil, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, o := range obs {
+			s.Observe(o)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obs)), "ns/query")
+}
+
+// BenchmarkScoutObserveOverlapFull is BenchmarkScoutObserveOverlap with the
+// incremental lifecycle disabled: every query rebuilds from scratch.
+func BenchmarkScoutObserveOverlapFull(b *testing.B) {
+	store, obs := overlapSetup(b)
+	cfg := DefaultConfig()
+	cfg.DisableIncremental = true
+	s := New(store, nil, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for _, o := range obs {
+			s.Observe(o)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(obs)), "ns/query")
+}

@@ -44,20 +44,28 @@ func (s Strategy) String() string {
 // scale, graph building lands near 15% and prediction near 6% of query
 // response time, matching §8.1.
 type CostConfig struct {
-	// PerObject is charged for every object added to a graph.
+	// PerObject is charged for every object added to a graph (insertions,
+	// resurrections and window re-walks under the delta lifecycle).
 	PerObject time.Duration
-	// PerEdge is charged for every edge created.
+	// PerEdge is charged for every edge created or detached.
 	PerEdge time.Duration
 	// PerOp is charged for every elementary traversal operation.
 	PerOp time.Duration
+	// PerMaintOp is charged for every elementary maintenance operation of
+	// the delta lifecycle — lazy connectivity rebuilds, cell-directory
+	// migration, tombstone compaction. These are cheap array/hash slots, an
+	// order of magnitude below the geometric work PerObject/PerEdge model;
+	// full builds perform none, so the §8.1 calibration is unaffected.
+	PerMaintOp time.Duration
 }
 
 // DefaultCostConfig returns the calibrated cost model.
 func DefaultCostConfig() CostConfig {
 	return CostConfig{
-		PerObject: 4 * time.Microsecond,
-		PerEdge:   1 * time.Microsecond,
-		PerOp:     500 * time.Nanosecond,
+		PerObject:  4 * time.Microsecond,
+		PerEdge:    1 * time.Microsecond,
+		PerOp:      500 * time.Nanosecond,
+		PerMaintOp: 25 * time.Nanosecond,
 	}
 }
 
@@ -83,6 +91,15 @@ type Config struct {
 	// DisablePruning turns off iterative candidate pruning (§4.3) for
 	// ablation: every query is treated as the first of its sequence.
 	DisablePruning bool
+	// DisableIncremental turns off the incremental graph lifecycle for
+	// ablation: every query rebuilds its graph from scratch (the paper's
+	// literal per-query lifecycle) instead of advancing the previous one.
+	DisableIncremental bool
+	// MinOverlapFrac is the result-set overlap (surviving objects over the
+	// larger of the old and new result) below which SCOUT falls back from
+	// Advance to a fresh build — churning most of the graph through
+	// tombstones costs more than rebuilding.
+	MinOverlapFrac float64
 	// Cost is the CPU cost model.
 	Cost CostConfig
 	// Seed drives the deep strategy's random pick and k-means seeding.
@@ -92,14 +109,15 @@ type Config struct {
 // DefaultConfig returns the paper's default operating point.
 func DefaultConfig() Config {
 	return Config{
-		Resolution:   32768,
-		Strategy:     Broad,
-		MaxLocations: 4,
-		Ladder:       6,
-		MatchTolFrac: 0.35,
-		GapIOFrac:    0.10,
-		Cost:         DefaultCostConfig(),
-		Seed:         1,
+		Resolution:     32768,
+		Strategy:       Broad,
+		MaxLocations:   4,
+		Ladder:         6,
+		MatchTolFrac:   0.35,
+		GapIOFrac:      0.10,
+		MinOverlapFrac: 0.4,
+		Cost:           DefaultCostConfig(),
+		Seed:           1,
 	}
 }
 
@@ -118,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GapIOFrac <= 0 {
 		c.GapIOFrac = 0.10
+	}
+	if c.MinOverlapFrac <= 0 {
+		c.MinOverlapFrac = 0.4
 	}
 	if c.Cost == (CostConfig{}) {
 		c.Cost = DefaultCostConfig()

@@ -28,6 +28,10 @@ type QueryStats struct {
 	SparsePages int
 	// GapPages is the number of pages read by gap traversal (SCOUT-OPT).
 	GapPages int
+	// GraphDelta marks a query whose graph was advanced incrementally from
+	// the previous query's instead of rebuilt; GraphBuild then charges only
+	// the delta work (inserted/removed vertices and edges plus maintenance).
+	GraphDelta bool
 }
 
 // Scout is the paper's base prefetcher: structure-aware prediction over any
@@ -49,16 +53,38 @@ type Scout struct {
 	plan      prefetch.Plan
 	stats     QueryStats
 
-	// graph is the reusable arena rebuilt for every query (sgraph.Graph
-	// recycles all backing storage across Resets); the scratch fields below
-	// recycle the remaining per-query working set, so steady-state
-	// observation allocates only for the plan it hands back.
+	// graph is the reusable arena carried across queries. When consecutive
+	// results overlap enough it is advanced in place (sgraph's delta
+	// lifecycle: survivors keep their cells and edges, departures become
+	// tombstones, only new objects are hashed); otherwise it is Reset and
+	// rebuilt. graphLive marks that it holds the previous query's graph of
+	// THIS sequence — Reset clears it so sequences stay independent. The
+	// scratch fields below recycle the remaining per-query working set, so
+	// steady-state observation allocates only for the plan it hands back.
 	graph      *sgraph.Graph
+	graphLive  bool
+	prevBounds geom.AABB
 	inResult   idSet
 	startVerts []int32
-	allVerts   []int32
 	projPts    []geom.Vec3
 	projDirs   []geom.Vec3
+	removedIDs []pagestore.ObjectID
+	addedIDs   []pagestore.ObjectID
+	crossBuf   []sgraph.Boundary
+	candBuf    []sgraph.Boundary
+	fwdBuf     []sgraph.Boundary
+	candPts    []geom.Vec3
+	crossPts   []geom.Vec3
+	crossDirs  []geom.Vec3
+	entryBuf   []bool
+	// kmeans scratch (see kmeansRepresentatives).
+	kmAssign  []int
+	kmPerm    []int32
+	kmCenters []geom.Vec3
+	// exitStore holds the exits handed back by predictFrom; it doubles as
+	// prevExits and is only overwritten after the next query has extracted
+	// its projected points.
+	exitStore []sgraph.Boundary
 }
 
 // New creates a SCOUT prefetcher over the given store. adjacency may be nil
@@ -86,6 +112,7 @@ func (s *Scout) Reset() {
 	s.centers = s.centers[:0]
 	s.plan = prefetch.Plan{}
 	s.stats = QueryStats{}
+	s.graphLive = false
 	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
 }
 
@@ -110,11 +137,14 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 	s.centers = append(s.centers, obs.Center)
 	_, estGap := s.estimateStep(side)
 
-	g := s.buildGraph(obs, bounds)
-	buildCost := graphBuildCost(s.cfg.Cost, g)
+	g, advanced := s.buildGraph(obs, bounds)
 
 	exits, candidates, predCost := s.predict(g, obs.Region, side, estGap)
 	s.prevExits = exits
+	// Build cost is computed after prediction: a delta build's lazy
+	// connectivity rebuild triggers on the first Connected call in there,
+	// and its maintenance work belongs to graph building, not prediction.
+	buildCost := graphBuildCost(s.cfg.Cost, g)
 
 	s.stats = QueryStats{
 		ResultObjects: len(obs.Result),
@@ -125,6 +155,7 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 		Prediction:    predCost,
 		Candidates:    candidates,
 		Exits:         len(exits),
+		GraphDelta:    advanced,
 	}
 	s.plan = prefetch.Plan{
 		// The ladder is sized to the next query's page FOOTPRINT — for
@@ -133,6 +164,7 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 		Requests:   s.requestsFor(exits, bounds.Volume(), side, estGap),
 		GraphBuild: buildCost,
 		Prediction: predCost,
+		GraphDelta: advanced,
 	}
 }
 
@@ -163,10 +195,21 @@ func (s *Scout) resetGraph(bounds geom.AABB, resolution int) *sgraph.Graph {
 	return s.graph
 }
 
-// buildGraph constructs the approximate graph of the query result: via the
-// explicit dataset adjacency when available, else via grid hashing. The
-// graph lives in the prefetcher's arena and is valid until the next query.
-func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) *sgraph.Graph {
+// buildGraph constructs the approximate graph of the query result: advancing
+// the previous query's graph in place when the result sets overlap enough,
+// else rebuilding — via the explicit dataset adjacency when available, else
+// via grid hashing. The graph lives in the prefetcher's arena and is valid
+// until the next query. It reports whether the graph was advanced (a delta
+// build) rather than rebuilt.
+func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) (*sgraph.Graph, bool) {
+	res := s.cfg.Resolution
+	if s.adjacency != nil {
+		res = 0
+	}
+	if s.tryAdvance(obs, bounds, res) {
+		s.prevBounds = bounds
+		return s.graph, true
+	}
 	if s.adjacency != nil {
 		g := s.resetGraph(bounds, 0)
 		s.inResult.reset(s.store.NumObjects())
@@ -181,21 +224,92 @@ func (s *Scout) buildGraph(obs prefetch.Observation, bounds geom.AABB) *sgraph.G
 				}
 			}
 		}
-		return g
+		s.graphLive = true
+		s.prevBounds = bounds
+		return g, false
 	}
 	g := s.resetGraph(bounds, s.cfg.Resolution)
 	for _, id := range obs.Result {
 		g.AddObject(id)
 	}
-	return g
+	s.graphLive = true
+	s.prevBounds = bounds
+	return g, false
+}
+
+// tryAdvance diffs the new result set against the graph's live vertices with
+// the epoch-stamped inResult set and advances the graph in place when the
+// lattice carries over (same resolution, same query volume, window within
+// range) and the overlap clears MinOverlapFrac — below that, churning most
+// of the graph through tombstones costs more than a fresh build.
+func (s *Scout) tryAdvance(obs prefetch.Observation, bounds geom.AABB, res int) bool {
+	if s.cfg.DisableIncremental || !s.graphLive || s.graph == nil {
+		return false
+	}
+	// Geometric pre-filter: surviving objects live in the region overlap, so
+	// when the regions themselves share less volume than the threshold the
+	// result-set diff cannot pass either — skip the O(result + live) diff.
+	inter := bounds.Intersection(s.prevBounds)
+	if inter.IsEmpty() || inter.Volume() < s.cfg.MinOverlapFrac*bounds.Volume() {
+		return false
+	}
+	if !s.graph.CanAdvance(bounds, res) {
+		return false
+	}
+	s.inResult.reset(s.store.NumObjects())
+	for _, id := range obs.Result {
+		s.inResult.add(uint32(id))
+	}
+	removed := s.removedIDs[:0]
+	surviving := 0
+	s.graph.ForEachLive(func(_ int32, id pagestore.ObjectID) {
+		if s.inResult.has(uint32(id)) {
+			surviving++
+		} else {
+			removed = append(removed, id)
+		}
+	})
+	s.removedIDs = removed
+	denom := len(obs.Result)
+	if live := surviving + len(removed); live > denom {
+		denom = live
+	}
+	if denom == 0 || float64(surviving) < s.cfg.MinOverlapFrac*float64(denom) {
+		return false
+	}
+	added := s.addedIDs[:0]
+	for _, id := range obs.Result {
+		if !s.graph.Contains(id) {
+			added = append(added, id)
+		}
+	}
+	s.addedIDs = added
+	s.graph.Advance(bounds, res, removed, added)
+	if s.adjacency != nil {
+		// Wire the newly entered objects into the explicit graph. Dataset
+		// adjacency is symmetric, so survivor↔added edges are covered by the
+		// added side alone; survivor↔survivor edges persisted in the arena.
+		for _, id := range added {
+			for _, nb := range s.adjacency[id] {
+				if s.inResult.has(uint32(nb)) && s.graph.Contains(nb) {
+					s.graph.ConnectExplicit(id, nb)
+				}
+			}
+		}
+	}
+	return true
 }
 
 // predict performs candidate pruning and the prediction traversal (§4.3,
 // §4.4). It returns the candidate exits, the number of candidate
-// structures, and the modeled prediction cost.
+// structures, and the modeled prediction cost. One crossings pass over the
+// live graph serves both candidate matching and exit extraction; every
+// buffer is recycled across queries.
 func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float64) ([]sgraph.Boundary, int, time.Duration) {
 	ops0 := g.Ops()
 
+	s.crossBuf = g.AppendCrossings(s.crossBuf[:0], region)
+	crossings := s.crossBuf
 	startVerts := s.startVerts[:0]
 	var prevPts []geom.Vec3
 	reset := len(s.prevExits) == 0 || s.cfg.DisablePruning
@@ -205,39 +319,57 @@ func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float6
 		// structure's direction. Projection keeps the tolerance tight even
 		// for large gaps — inflating the radius around the old exit point
 		// instead would eventually match every structure in the query and
-		// void the pruning.
+		// void the pruning. A crossing matches a projected point when it is
+		// within tol AND its outward direction OPPOSES the walk — an
+		// entering structure's outward crossing points back toward where
+		// the user came from.
 		tol := side*s.cfg.MatchTolFrac + estGap*0.6
 		s.projPts = appendProjectedPoints(s.projPts[:0], s.prevExits, estGap)
 		s.projDirs = appendBoundaryDirs(s.projDirs[:0], s.prevExits)
-		matched := g.CrossingsNearDir(region, s.projPts, s.projDirs, tol)
-		if len(matched) == 0 {
+		tol2 := tol * tol
+		// Flat point/direction arrays keep the quadratic matching loop on
+		// compact cache lines instead of striding 56-byte Boundary records.
+		cpts := s.crossPts[:0]
+		cdirs := s.crossDirs[:0]
+		for i := range crossings {
+			cpts = append(cpts, crossings[i].Point)
+			cdirs = append(cdirs, crossings[i].Dir)
+		}
+		s.crossPts = cpts
+		s.crossDirs = cdirs
+		for i := range cpts {
+			for j := range s.projPts {
+				if cpts[i].DistSq(s.projPts[j]) > tol2 {
+					continue
+				}
+				if cdirs[i].Dot(s.projDirs[j]) > 0.3 {
+					continue // heads the same way as the walk: not an entry
+				}
+				startVerts = append(startVerts, crossings[i].Vertex)
+				break
+			}
+		}
+		if len(startVerts) == 0 {
 			reset = true // user switched structures (§4.3 reset)
 		} else {
-			for _, m := range matched {
-				startVerts = append(startVerts, m.Vertex)
-			}
 			prevPts = s.projPts
 		}
 	}
 	if reset {
 		prevPts = nil
 		startVerts = startVerts[:0]
-		for _, c := range g.Crossings(region) {
-			startVerts = append(startVerts, c.Vertex)
+		for i := range crossings {
+			startVerts = append(startVerts, crossings[i].Vertex)
 		}
 	}
 	s.startVerts = startVerts
-	exits, candidates := s.predictFrom(g, region, side, startVerts, prevPts)
+	exits, candidates := s.predictFrom(g, region, side, startVerts, prevPts, crossings)
 	if !reset && estGap > side*0.05 {
 		// "SCOUT has no way to prune candidates in the gap region and is
 		// forced to traverse the entire graph" (§7.3): charge a full-graph
-		// traversal on top of the candidate traversal.
-		all := s.allVerts[:0]
-		for v := 0; v < g.NumVertices(); v++ {
-			all = append(all, int32(v))
-		}
-		s.allVerts = all
-		g.ReachableFrom(all)
+		// traversal — V + 2E ops, closed-form — on top of the candidate
+		// traversal.
+		g.ChargeFullTraversal()
 	}
 
 	predCost := time.Duration(g.Ops()-ops0) * s.cfg.Cost.PerOp
@@ -251,39 +383,100 @@ func (s *Scout) predict(g *sgraph.Graph, region geom.Region, side, estGap float6
 // predicted exits. On a reset (prevPts nil) every reachable crossing is a
 // potential exit — the user's direction is unknown, so broad prefetching
 // covers both ends of every structure.
-func (s *Scout) predictFrom(g *sgraph.Graph, region geom.Region, side float64, startVerts []int32, prevPts []geom.Vec3) ([]sgraph.Boundary, int) {
-	crossings := g.ReachableCrossings(startVerts, region)
-	exits := crossings
+//
+// allCrossings, when non-nil, is the query's precomputed full crossing list:
+// the reachable subset is filtered from it instead of re-clipping every
+// reached vertex (the traversal itself still runs, and is still charged, for
+// the modeled prediction cost). The returned exits live in s.exitStore and
+// stay valid until the next query's predictFrom.
+func (s *Scout) predictFrom(g *sgraph.Graph, region geom.Region, side float64, startVerts []int32, prevPts []geom.Vec3, allCrossings []sgraph.Boundary) ([]sgraph.Boundary, int) {
+	g.MarkReachable(startVerts)
+	cand := s.candBuf[:0]
+	if allCrossings != nil {
+		for i := range allCrossings {
+			if g.Reached(allCrossings[i].Vertex) {
+				cand = append(cand, allCrossings[i])
+			}
+		}
+	} else {
+		cand = g.AppendReachedCrossings(cand, region)
+	}
+	// Merge near-duplicate crossings BEFORE the quadratic entry/forward
+	// classification: parallel fibers of one bundle cross the boundary
+	// within a fraction of a cell of each other, and one representative per
+	// exit location carries the same information at a fraction of the cost.
+	// The 0.1·side radius is well under both the matching tolerance
+	// (MatchTolFrac·side) and dedupeLocations' 0.3·side, so neither
+	// candidate pruning nor location selection loses resolution.
+	cand = dedupeExitsInPlace(cand, side*0.1)
+	s.candBuf = cand
+	exits := cand
 	if len(prevPts) > 0 {
-		entry := make([]bool, len(crossings))
+		entry := s.entryBuf[:0]
+		pts := s.candPts[:0]
+		for i := range cand {
+			entry = append(entry, false)
+			pts = append(pts, cand[i].Point)
+		}
+		s.entryBuf = entry
+		s.candPts = pts
 		slack := side * 0.25
 		for _, p := range prevPts {
-			minD := -1.0
-			for _, c := range crossings {
-				if d := c.Point.Dist(p); minD < 0 || d < minD {
-					minD = d
+			minD2 := -1.0
+			for i := range pts {
+				if d := pts[i].DistSq(p); minD2 < 0 || d < minD2 {
+					minD2 = d
 				}
 			}
-			if minD < 0 {
+			if minD2 < 0 {
 				continue
 			}
-			for i, c := range crossings {
-				if c.Point.Dist(p) <= minD+slack {
+			// d ≤ √minD2 + slack  ⟺  d² ≤ (√minD2 + slack)² for d ≥ 0.
+			t := math.Sqrt(minD2) + slack
+			t2 := t * t
+			for i := range pts {
+				if pts[i].DistSq(p) <= t2 {
 					entry[i] = true
 				}
 			}
 		}
-		forward := make([]sgraph.Boundary, 0, len(crossings))
-		for i, c := range crossings {
+		forward := s.fwdBuf[:0]
+		for i := range cand {
 			if !entry[i] {
-				forward = append(forward, c)
+				forward = append(forward, cand[i])
 			}
 		}
+		s.fwdBuf = forward
 		if len(forward) > 0 {
 			exits = forward
 		}
 	}
-	return exits, countComponents(g, startVerts)
+	// Copy into the stable store: cand/fwd scratch is recycled next query,
+	// but the exits survive as prevExits until then.
+	s.exitStore = append(s.exitStore[:0], exits...)
+	return s.exitStore, countComponents(g, startVerts)
+}
+
+// dedupeExitsInPlace keeps the first representative of every
+// tol-neighborhood (deterministic: input order decides), compacting in
+// place.
+func dedupeExitsInPlace(exits []sgraph.Boundary, tol float64) []sgraph.Boundary {
+	t2 := tol * tol
+	n := 0
+	for i := range exits {
+		dup := false
+		for j := 0; j < n; j++ {
+			if exits[j].Point.DistSq(exits[i].Point) < t2 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			exits[n] = exits[i]
+			n++
+		}
+	}
+	return exits[:n]
 }
 
 // requestsFor converts candidate exits into the prefetch plan: select
@@ -357,7 +550,7 @@ func (s *Scout) selectLocations(exits []sgraph.Boundary, side, estGap float64) [
 	}
 	// Too many exits: k-means the exit points and take one exit per
 	// cluster at random (§5.2.2).
-	reps := kmeansRepresentatives(s.rng, exits, s.cfg.MaxLocations)
+	reps := s.kmeansRepresentatives(exits, s.cfg.MaxLocations)
 	locs := make([]location, len(reps))
 	for i, e := range reps {
 		locs[i] = mk(e)
@@ -424,29 +617,21 @@ func appendBoundaryDirs(dst []geom.Vec3, bs []sgraph.Boundary) []geom.Vec3 {
 }
 
 // countComponents counts distinct connected components among the vertices
-// with pairwise Connected probes; start-vertex sets are small, so O(k²) is
-// fine.
+// (root dedup over union-find, O(k·α)).
 func countComponents(g *sgraph.Graph, verts []int32) int {
-	var reps []int32
-	for _, v := range verts {
-		found := false
-		for _, r := range reps {
-			if g.Connected(v, r) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			reps = append(reps, v)
-		}
-	}
-	return len(reps)
+	return g.CountComponentsOf(verts)
 }
 
-// graphBuildCost models the CPU time of graph construction.
+// graphBuildCost models the CPU time of graph construction from the graph's
+// per-lifecycle work counters. A fresh build charges every vertex and edge
+// (BuildVertices = V, BuildEdges = E, no maintenance — exactly the paper's
+// §8.1 calibration); a delta build charges only the delta work: objects
+// inserted, resurrected or re-walked, edges created or detached, plus the
+// cheap per-slot maintenance of lazy connectivity rebuilds and compaction.
 func graphBuildCost(c CostConfig, g *sgraph.Graph) time.Duration {
-	return time.Duration(g.NumVertices())*c.PerObject +
-		time.Duration(g.NumEdges())*c.PerEdge
+	return time.Duration(g.BuildVertices())*c.PerObject +
+		time.Duration(g.BuildEdges())*c.PerEdge +
+		time.Duration(g.MaintOps())*c.PerMaintOp
 }
 
 // sideOf returns the cube-equivalent side length of a box.
@@ -457,21 +642,34 @@ func sideOf(b geom.AABB) float64 {
 // kmeansRepresentatives clusters the exits' points into k clusters with
 // Lloyd's algorithm (the paper cites k-means' smoothed polynomial
 // complexity, §5.2.2) and returns one exit per non-empty cluster, chosen at
-// random.
-func kmeansRepresentatives(rng *rand.Rand, exits []sgraph.Boundary, k int) []sgraph.Boundary {
+// random. Scratch (assignments, centers) is recycled on the prefetcher.
+func (s *Scout) kmeansRepresentatives(exits []sgraph.Boundary, k int) []sgraph.Boundary {
+	rng := s.rng
 	if len(exits) <= k {
 		return exits
 	}
 	if k > 16 {
 		k = 16 // the accumulator arrays below are fixed-size
 	}
-	// Initialize centers from distinct random exits.
-	perm := rng.Perm(len(exits))
-	centers := make([]geom.Vec3, k)
-	for i := 0; i < k; i++ {
-		centers[i] = exits[perm[i]].Point
+	// Initialize centers from k distinct random exits (partial recycled
+	// Fisher–Yates: only the first k swaps of a full shuffle are needed).
+	perm := s.kmPerm[:0]
+	for i := range exits {
+		perm = append(perm, int32(i))
 	}
-	assign := make([]int, len(exits))
+	s.kmPerm = perm
+	centers := s.kmCenters[:0]
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(perm)-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		centers = append(centers, exits[perm[i]].Point)
+	}
+	s.kmCenters = centers
+	assign := s.kmAssign[:0]
+	for range exits {
+		assign = append(assign, 0)
+	}
+	s.kmAssign = assign
 	for iter := 0; iter < 10; iter++ {
 		changed := false
 		for i, e := range exits {

@@ -271,7 +271,7 @@ func TestKmeansRepresentatives(t *testing.T) {
 		exits = append(exits, sgraph.Boundary{Point: geom.V(float64(i)*0.01, 0, 0), Dir: geom.V(1, 0, 0)})
 		exits = append(exits, sgraph.Boundary{Point: geom.V(100+float64(i)*0.01, 0, 0), Dir: geom.V(1, 0, 0)})
 	}
-	reps := kmeansRepresentatives(s.rng, exits, 2)
+	reps := s.kmeansRepresentatives(exits, 2)
 	if len(reps) != 2 {
 		t.Fatalf("reps = %d, want 2", len(reps))
 	}
@@ -281,7 +281,7 @@ func TestKmeansRepresentatives(t *testing.T) {
 		t.Errorf("both representatives from the same cluster: %v, %v", a, b)
 	}
 	// Fewer exits than k passes through.
-	if got := kmeansRepresentatives(s.rng, exits[:2], 5); len(got) != 2 {
+	if got := s.kmeansRepresentatives(exits[:2], 5); len(got) != 2 {
 		t.Errorf("passthrough = %d", len(got))
 	}
 }

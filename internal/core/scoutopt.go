@@ -22,12 +22,16 @@ type ScoutOpt struct {
 	// Reusable per-query working set: candidate/visited page sets, the page
 	// expansion queue of sparse construction, and a second graph arena for
 	// gap traversal (the main arena holds the query's graph, which must
-	// survive while the gap corridors are explored).
+	// survive while the gap corridors are explored). gapLive marks that the
+	// gap arena holds a corridor of this sequence; corridors of consecutive
+	// queries overlap along the followed structure, so the arena advances
+	// (AdvanceWithin) instead of resetting when the lattice carries over.
 	inCand    idSet
 	pageSeen  idSet
 	pageQueue []pagestore.PageID
 	pageAdded []int32
 	gapGraph  *sgraph.Graph
+	gapLive   bool
 	gapStarts []int32
 	gapFronts []pagestore.PageID
 }
@@ -43,6 +47,13 @@ func NewOpt(flat *flatindex.Index, adjacency [][]pagestore.ObjectID, cfg Config)
 
 // Name implements prefetch.Prefetcher.
 func (s *ScoutOpt) Name() string { return "SCOUT-OPT" }
+
+// Reset implements prefetch.Prefetcher, additionally dropping the gap
+// arena's carried-over corridor so sequences stay independent.
+func (s *ScoutOpt) Reset() {
+	s.Scout.Reset()
+	s.gapLive = false
+}
 
 // Clone implements prefetch.Cloner: an independent fresh-state copy sharing
 // only the immutable index, store and adjacency.
@@ -64,30 +75,36 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 	startVerts := s.startVerts[:0]
 	var prevPts []geom.Vec3
 	sparsePages := 0
+	advanced := false
 	reset := len(s.prevExits) == 0
 	if !reset {
 		s.projPts = appendProjectedPoints(s.projPts[:0], s.prevExits, estGap)
-		g, startVerts, sparsePages = s.sparseBuild(obs, bounds, tol, s.projPts, startVerts)
+		g, startVerts, sparsePages, advanced = s.sparseBuild(obs, bounds, tol, s.projPts, startVerts)
 		if len(startVerts) == 0 {
 			reset = true // candidate lost: rebuild in full
 		} else {
 			prevPts = s.projPts
 		}
 	}
+	var crossings []sgraph.Boundary
 	if reset {
-		g = s.buildGraph(obs, bounds)
+		g, advanced = s.buildGraph(obs, bounds)
 		prevPts = nil
+		s.crossBuf = g.AppendCrossings(s.crossBuf[:0], obs.Region)
+		crossings = s.crossBuf
 		startVerts = startVerts[:0]
-		for _, c := range g.Crossings(obs.Region) {
-			startVerts = append(startVerts, c.Vertex)
+		for i := range crossings {
+			startVerts = append(startVerts, crossings[i].Vertex)
 		}
 	}
 	s.startVerts = startVerts
-	buildCost := graphBuildCost(s.cfg.Cost, g)
 
 	ops0 := g.Ops()
-	exits, candidates := s.predictFrom(g, obs.Region, side, startVerts, prevPts)
+	exits, candidates := s.predictFrom(g, obs.Region, side, startVerts, prevPts, crossings)
 	predCost := time.Duration(g.Ops()-ops0) * s.cfg.Cost.PerOp
+	// After prediction: a delta build's lazy connectivity rebuild triggers
+	// on the first Connected call above and is charged to graph building.
+	buildCost := graphBuildCost(s.cfg.Cost, g)
 	s.prevExits = exits
 
 	// Gap traversal (§6.3): follow the candidate structures across the gap
@@ -136,6 +153,7 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 		Exits:         len(exits),
 		SparsePages:   sparsePages,
 		GapPages:      len(gapPages),
+		GraphDelta:    advanced,
 	}
 	s.plan = prefetch.Plan{
 		Requests:   reqs,
@@ -146,6 +164,7 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 		// finished once the query result is retrieved" (§6.2).
 		PredictionHidden: !reset,
 		TraversalPages:   gapPages,
+		GraphDelta:       advanced,
 	}
 }
 
@@ -155,8 +174,11 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 // the result pages out of the graph entirely. exitPts are the previous
 // exits projected across the gap; startVerts is an empty recycled buffer.
 // It returns the graph (in the shared arena), the start vertices matched to
-// the previous exits, and the number of pages whose objects were added.
-func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol float64, exitPts []geom.Vec3, startVerts []int32) (*sgraph.Graph, []int32, int) {
+// the previous exits, the number of pages whose objects were added, and
+// whether the arena was advanced in place (first-touch re-adds: surviving
+// vertices keep their cells and edges and cost a table lookup instead of a
+// voxel walk) rather than reset.
+func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol float64, exitPts []geom.Vec3, startVerts []int32) (*sgraph.Graph, []int32, int, bool) {
 	s.inResult.reset(s.store.NumObjects())
 	for _, id := range obs.Result {
 		s.inResult.add(uint32(id))
@@ -181,25 +203,37 @@ func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol f
 	}
 	if len(queue) == 0 {
 		s.pageQueue = queue
-		return nil, nil, 0
+		return nil, nil, 0, false
 	}
 
+	// Sparse construction is itself the paper's incremental mechanism: it
+	// touches only the candidate pages, so its graphs are small and cheap to
+	// rebuild. Advancing the arena across sparse graphs was measured to cost
+	// MORE than the rebuild it saves — the candidate window slides every
+	// query, so most carried-over vertices are tombstoned and resurrected in
+	// alternation, churning kills, re-walks and compactions (see DESIGN §3).
+	// The full-build fallback (buildGraph) and the gap corridor do advance.
 	g := s.resetGraph(bounds, s.cfg.Resolution)
+	s.graphLive = true
+	s.prevBounds = bounds
 	pagesUsed := 0
 	for head := 0; head < len(queue); head++ {
 		p := queue[head]
 		pagesUsed++
 
-		// Build the subgraph of page P: add its result objects.
+		// Build the subgraph of page P: add its result objects. First-touch
+		// semantics make the delta lifecycle transparent: a surviving vertex
+		// re-added by its page counts as added exactly once, so crossing
+		// detection and page expansion below see the same objects a fresh
+		// sparse build would.
 		added := s.pageAdded[:0]
 		for _, id := range s.store.PageObjects(p) {
 			if !s.inResult.has(uint32(id)) {
 				continue
 			}
-			if g.Contains(id) {
-				continue
+			if v, first := s.addObjectMaybeExplicit(g, id); first {
+				added = append(added, v)
 			}
-			added = append(added, s.addObjectMaybeExplicit(g, id))
 		}
 		// Newly found crossings near the previous exits (only the vertices
 		// added by this page can contribute new ones).
@@ -242,7 +276,7 @@ func (s *ScoutOpt) sparseBuild(obs prefetch.Observation, bounds geom.AABB, tol f
 		s.pageAdded = added[:0]
 	}
 	s.pageQueue = queue[:0]
-	return g, startVerts, pagesUsed
+	return g, startVerts, pagesUsed, false
 }
 
 // nearAny reports whether p is within tol of any of the points.
@@ -294,19 +328,20 @@ func containsVert(verts []int32, v int32) bool {
 	return false
 }
 
-// addObjectMaybeExplicit inserts an object, wiring explicit adjacency when
-// the dataset has it. Membership in the current result is read from the
-// recycled inResult set, which sparseBuild populates.
-func (s *ScoutOpt) addObjectMaybeExplicit(g *sgraph.Graph, id pagestore.ObjectID) int32 {
-	v := g.AddObject(id)
-	if s.adjacency != nil {
+// addObjectMaybeExplicit inserts an object (first-touch semantics, see
+// sgraph.AddObjectFirst), wiring explicit adjacency when the dataset has it.
+// Membership in the current result is read from the recycled inResult set,
+// which sparseBuild populates.
+func (s *ScoutOpt) addObjectMaybeExplicit(g *sgraph.Graph, id pagestore.ObjectID) (int32, bool) {
+	v, first := g.AddObjectFirst(id)
+	if first && s.adjacency != nil {
 		for _, nb := range s.adjacency[id] {
 			if s.inResult.has(uint32(nb)) && g.Contains(nb) {
 				g.ConnectExplicit(id, nb)
 			}
 		}
 	}
-	return v
+	return v, first
 }
 
 // gapTraverse implements §6.3: from each candidate exit, read the pages
@@ -342,11 +377,18 @@ func (s *ScoutOpt) gapTraverse(exits []sgraph.Boundary, region geom.AABB, side, 
 
 		// The corridor graph lives in its own arena: the query's main graph
 		// (in Scout.graph) must stay intact while the gap is explored.
+		// Consecutive corridors along the same structure overlap, so the
+		// arena advances in place when the lattice carries over (same
+		// corridor volume → same cell size), keeping every vertex recovered
+		// from previously read pages that still lies inside the new corridor
+		// — structure knowledge at zero additional I/O.
 		if s.gapGraph == nil {
 			s.gapGraph = sgraph.New(s.store, corridor, s.cfg.Resolution)
-		} else {
+		} else if s.cfg.DisableIncremental || !s.gapLive ||
+			!s.gapGraph.AdvanceWithin(corridor, s.cfg.Resolution) {
 			s.gapGraph.Reset(corridor, s.cfg.Resolution)
 		}
+		s.gapLive = true
 		g := s.gapGraph
 		ops0 := g.Ops()
 		s.pageSeen.reset(s.store.NumPages())
@@ -355,8 +397,14 @@ func (s *ScoutOpt) gapTraverse(exits []sgraph.Boundary, region geom.AABB, side, 
 			frontier = append(frontier, seed)
 			s.pageSeen.add(uint32(seed))
 		}
-		// The traversal starts from the objects at the exit location.
+		// The traversal starts from the objects at the exit location —
+		// including carried-over corridor survivors already in the arena.
 		starts := s.gapStarts[:0]
+		g.ForEachLive(func(v int32, id pagestore.ObjectID) {
+			if s.store.Object(id).Seg.DistToPoint(e.Point) < side*0.15 {
+				starts = append(starts, v)
+			}
+		})
 		far := location{center: e.Point, dir: e.Dir}
 		farDist := 0.0
 

@@ -57,6 +57,7 @@ type QueryTrace struct {
 	Residual    time.Duration // actual disk time for misses
 	Window      time.Duration // prefetch window duration
 	GraphBuild  time.Duration
+	GraphDelta  bool // graph advanced incrementally (delta-cost GraphBuild)
 	Prediction  time.Duration
 	PrefetchIO  time.Duration // window time spent reading prefetch pages
 	Prefetched  int           // pages prefetched during the window
@@ -75,6 +76,9 @@ type SequenceResult struct {
 	Residual   time.Duration
 	GraphBuild time.Duration
 	Prediction time.Duration
+	// DeltaBuilds counts the counted queries whose graph was advanced
+	// incrementally rather than rebuilt.
+	DeltaBuilds int64
 }
 
 // HitRate returns the sequence's cache hit rate.
@@ -199,6 +203,7 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 		})
 		plan := p.Plan()
 		tr.GraphBuild = plan.GraphBuild
+		tr.GraphDelta = plan.GraphDelta
 		tr.Prediction = plan.Prediction
 
 		// 3. The prefetch window: user analysis takes r × cold time.
@@ -224,6 +229,9 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 			res.Residual += tr.Residual
 			res.GraphBuild += tr.GraphBuild
 			res.Prediction += tr.Prediction
+			if tr.GraphDelta {
+				res.DeltaBuilds++
+			}
 		}
 		res.Queries = append(res.Queries, tr)
 	}
@@ -376,6 +384,9 @@ type Aggregate struct {
 	Residual   time.Duration
 	GraphBuild time.Duration
 	Prediction time.Duration
+	// DeltaBuilds counts counted queries served by incremental graph
+	// advances rather than full rebuilds.
+	DeltaBuilds int64
 }
 
 func (a *Aggregate) add(r SequenceResult) {
@@ -386,6 +397,7 @@ func (a *Aggregate) add(r SequenceResult) {
 	a.Residual += r.Residual
 	a.GraphBuild += r.GraphBuild
 	a.Prediction += r.Prediction
+	a.DeltaBuilds += r.DeltaBuilds
 }
 
 // HitRate returns the pooled cache hit rate across sequences.

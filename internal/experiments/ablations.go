@@ -126,6 +126,46 @@ func AblationIncremental(env *Env) Result {
 	return res
 }
 
+// AblationIncrementalBuild compares full per-query graph rebuilds against
+// the incremental Advance lifecycle on a heavily overlapping guided walk —
+// the workload the delta maintenance targets. Accuracy must be unaffected;
+// the modeled graph-building cost collapses to delta work.
+func AblationIncrementalBuild(env *Env) Result {
+	opt := env.Options()
+	s := env.Neuro()
+	res := Result{
+		ID:     "ablation_incremental_build",
+		Figure: "§8.1 (ablation)",
+		Title:  "Incremental graph maintenance (Advance) vs full per-query rebuilds",
+		Header: []string{"Graph lifecycle", "Hit rate", "Speedup", "Graph build/seq", "Delta builds"},
+	}
+	p := sensitivityParams()
+	p.Overlap = 0.75 // structure-following with heavy region overlap
+	p.Jitter = -1
+	seqs := s.genSequences(p, opt.sequences(50), opt.Seed)
+	for _, disable := range []bool{true, false} {
+		cfg := core.DefaultConfig()
+		cfg.DisableIncremental = disable
+		agg := s.runOne(seqs, s.scout(cfg))
+		label := "delta (Advance)"
+		if disable {
+			label = "full rebuild"
+		}
+		nseq := agg.Sequences
+		if nseq < 1 {
+			nseq = 1
+		}
+		res.AddRow(label, pct(agg.HitRate()), x2(agg.Speedup()),
+			(agg.GraphBuild / time.Duration(nseq)).Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", agg.DeltaBuilds))
+		opt.progress("ablation_incremental_build disable=%v done", disable)
+	}
+	res.Notes = append(res.Notes,
+		"delta builds charge only inserted/removed vertices and edges plus lazy-connectivity maintenance (graph building is ~15% of response time at full rebuilds, §8.1)",
+		"hit rates stay within noise: the advanced graph holds the same result set; survivor edges formed over the covered corridor can differ marginally from a per-query clip")
+	return res
+}
+
 func meanStd(xs []float64) (mean, std float64) {
 	if len(xs) == 0 {
 		return 0, 0

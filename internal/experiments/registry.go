@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning, warmNeuro},
 		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans, warmNeuro},
 		{"ablation_incremental", "§5.1", "Incremental ladder vs one-shot (ablation)", AblationIncremental, warmNeuro},
+		{"ablation_incremental_build", "§8.1", "Incremental graph maintenance vs full rebuilds (ablation)", AblationIncrementalBuild, warmNeuro},
 	}
 }
 

@@ -103,27 +103,19 @@ func (s Segment) IntersectsAABB(b AABB) bool {
 
 // ClipAABB clips the segment against box b using the slab method. It returns
 // the entry and exit parameters tmin ≤ tmax within [0,1] and whether any part
-// of the segment lies inside the box.
+// of the segment lies inside the box. The axes are unrolled — this sits on
+// the voxel-walk and crossing-extraction hot paths.
 func (s Segment) ClipAABB(b AABB) (tmin, tmax float64, ok bool) {
 	if b.IsEmpty() {
 		return 0, 0, false
 	}
 	tmin, tmax = 0, 1
 	d := s.Dir()
-	for i := 0; i < 3; i++ {
-		o := s.A.Component(i)
-		di := d.Component(i)
-		lo := b.Min.Component(i)
-		hi := b.Max.Component(i)
-		if math.Abs(di) < 1e-15 {
-			if o < lo || o > hi {
-				return 0, 0, false
-			}
-			continue
-		}
+
+	if di := d.X; di < -1e-15 || di > 1e-15 {
 		inv := 1 / di
-		t0 := (lo - o) * inv
-		t1 := (hi - o) * inv
+		t0 := (b.Min.X - s.A.X) * inv
+		t1 := (b.Max.X - s.A.X) * inv
 		if t0 > t1 {
 			t0, t1 = t1, t0
 		}
@@ -136,6 +128,48 @@ func (s Segment) ClipAABB(b AABB) (tmin, tmax float64, ok bool) {
 		if tmin > tmax {
 			return 0, 0, false
 		}
+	} else if s.A.X < b.Min.X || s.A.X > b.Max.X {
+		return 0, 0, false
+	}
+
+	if di := d.Y; di < -1e-15 || di > 1e-15 {
+		inv := 1 / di
+		t0 := (b.Min.Y - s.A.Y) * inv
+		t1 := (b.Max.Y - s.A.Y) * inv
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tmin {
+			tmin = t0
+		}
+		if t1 < tmax {
+			tmax = t1
+		}
+		if tmin > tmax {
+			return 0, 0, false
+		}
+	} else if s.A.Y < b.Min.Y || s.A.Y > b.Max.Y {
+		return 0, 0, false
+	}
+
+	if di := d.Z; di < -1e-15 || di > 1e-15 {
+		inv := 1 / di
+		t0 := (b.Min.Z - s.A.Z) * inv
+		t1 := (b.Max.Z - s.A.Z) * inv
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tmin {
+			tmin = t0
+		}
+		if t1 < tmax {
+			tmax = t1
+		}
+		if tmin > tmax {
+			return 0, 0, false
+		}
+	} else if s.A.Z < b.Min.Z || s.A.Z > b.Max.Z {
+		return 0, 0, false
 	}
 	return tmin, tmax, true
 }

@@ -55,6 +55,11 @@ type Plan struct {
 	// (zero for baselines). It is interleaved with result retrieval (§4)
 	// and therefore reported in breakdowns but not charged to the window.
 	GraphBuild time.Duration
+	// GraphDelta marks GraphBuild as a delta build: the graph was advanced
+	// incrementally from the previous query's instead of rebuilt, and
+	// GraphBuild charges only the delta work. Reported in breakdowns
+	// (fig14/fig15) and counted by the engine's aggregates.
+	GraphDelta bool
 	// Prediction is the modeled CPU cost of computing the prediction. It is
 	// charged against the prefetch window before any prefetch I/O (except
 	// for index-assisted variants that hide it; see core.ScoutOpt).

@@ -89,3 +89,64 @@ func BenchmarkComponents(b *testing.B) {
 		g.Components()
 	}
 }
+
+// BenchmarkGraphAdvance measures the delta lifecycle against its rebuild
+// counterpart (BenchmarkGraphReuse): a drifting window over benchWorld where
+// ~80% of the result survives each step, advanced via tombstones + inserts
+// instead of Reset + full re-hash.
+func BenchmarkGraphAdvance(b *testing.B) {
+	store, _, _ := benchWorld(4000)
+	side := 20.0
+	regionAt := func(i int) geom.AABB {
+		off := float64(i%8) * 2
+		return geom.Box(geom.V(off, off/2, 0), geom.V(off+side, off/2+side, side))
+	}
+	resultAt := func(r geom.AABB) []pagestore.ObjectID {
+		var out []pagestore.ObjectID
+		for i := 0; i < store.NumObjects(); i++ {
+			id := pagestore.ObjectID(i)
+			if store.Object(id).IntersectsBox(r) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	regions := make([]geom.AABB, 8)
+	results := make([][]pagestore.ObjectID, 8)
+	for i := range regions {
+		regions[i] = regionAt(i)
+		results[i] = resultAt(regions[i])
+	}
+	g := Build(store, regions[0], 32768, results[0])
+	live := map[pagestore.ObjectID]bool{}
+	for _, id := range results[0] {
+		live[id] = true
+	}
+	var removed, added []pagestore.ObjectID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := regions[(i+1)%8]
+		res := results[(i+1)%8]
+		inNew := map[pagestore.ObjectID]bool{}
+		for _, id := range res {
+			inNew[id] = true
+		}
+		removed, added = removed[:0], added[:0]
+		g.ForEachLive(func(_ int32, id pagestore.ObjectID) {
+			if !inNew[id] {
+				removed = append(removed, id)
+			}
+		})
+		for _, id := range res {
+			if !live[id] {
+				added = append(added, id)
+			}
+		}
+		if !g.CanAdvance(r, 32768) {
+			b.Fatal("cannot advance")
+		}
+		g.Advance(r, 32768, removed, added)
+		live = inNew
+	}
+}

@@ -48,25 +48,30 @@ func (g *Graph) Structures(region geom.Region) []Structure {
 // segment with the region (box or frustum): zero, one (one endpoint
 // outside), or two (the segment threads through the region).
 func (g *Graph) crossingsOf(v int32, region geom.Region) []Boundary {
+	return g.appendCrossingsOf(nil, v, region)
+}
+
+// appendCrossingsOf is crossingsOf appending into dst, so batch extraction
+// recycles one buffer instead of allocating per vertex.
+func (g *Graph) appendCrossingsOf(dst []Boundary, v int32, region geom.Region) []Boundary {
 	s := g.store.Object(g.ids[v]).Seg
 	inA := region.ContainsPoint(s.A)
 	inB := region.ContainsPoint(s.B)
 	if inA && inB {
-		return nil
+		return dst
 	}
 	tmin, tmax, ok := geom.ClipSegmentRegion(region, s)
 	if !ok {
-		return nil
+		return dst
 	}
-	var out []Boundary
 	dir := s.Dir().Normalize()
 	if !inA { // A is outside: the crossing at the entry point heads A-ward
-		out = append(out, Boundary{Vertex: v, Point: s.At(tmin), Dir: dir.Neg()})
+		dst = append(dst, Boundary{Vertex: v, Point: s.At(tmin), Dir: dir.Neg()})
 	}
 	if !inB { // B is outside: the crossing at the exit point heads B-ward
-		out = append(out, Boundary{Vertex: v, Point: s.At(tmax), Dir: dir})
+		dst = append(dst, Boundary{Vertex: v, Point: s.At(tmax), Dir: dir})
 	}
-	return out
+	return dst
 }
 
 // VertexCrossings returns the outward-oriented boundary crossings of one
@@ -76,28 +81,148 @@ func (g *Graph) VertexCrossings(v int32, region geom.Region) []Boundary {
 	return g.crossingsOf(v, region)
 }
 
-// Crossings returns every boundary crossing in the graph relative to the
-// region, outward-oriented.
+// Crossings returns every boundary crossing of the live graph relative to
+// the region, outward-oriented.
 func (g *Graph) Crossings(region geom.Region) []Boundary {
-	var out []Boundary
-	for v := int32(0); v < int32(len(g.ids)); v++ {
-		out = append(out, g.crossingsOf(v, region)...)
+	return g.AppendCrossings(nil, region)
+}
+
+// AppendCrossings is Crossings appending into a caller-recycled buffer: one
+// pass over the live vertices, no per-vertex allocation. Box regions (the
+// common case) take a devirtualized path — containment and clipping against
+// an interface cost two dynamic dispatches per vertex otherwise.
+func (g *Graph) AppendCrossings(dst []Boundary, region geom.Region) []Boundary {
+	if box, ok := region.(geom.AABB); ok {
+		if g.gridOn && box == g.lat.clip {
+			// The clip box IS the query region (fresh builds): a vertex whose
+			// segment is strictly inside it (clipped[v] false) cannot cross
+			// the boundary, so only the boundary-flagged minority is tested.
+			for v := int32(0); v < int32(len(g.ids)); v++ {
+				if g.dead[v] || !g.clipped[v] {
+					continue
+				}
+				dst = g.appendBoxCrossingsOf(dst, v, box)
+			}
+			return dst
+		}
+		for v := int32(0); v < int32(len(g.ids)); v++ {
+			if g.dead[v] {
+				continue
+			}
+			dst = g.appendBoxCrossingsOf(dst, v, box)
+		}
+		return dst
 	}
-	return out
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		if g.dead[v] {
+			continue
+		}
+		dst = g.appendCrossingsOf(dst, v, region)
+	}
+	return dst
+}
+
+// appendBoxCrossingsOf is appendCrossingsOf specialized for box regions.
+func (g *Graph) appendBoxCrossingsOf(dst []Boundary, v int32, box geom.AABB) []Boundary {
+	s := g.store.Object(g.ids[v]).Seg
+	inA := box.Contains(s.A)
+	inB := box.Contains(s.B)
+	if inA && inB {
+		return dst
+	}
+	tmin, tmax, ok := s.ClipAABB(box)
+	if !ok {
+		return dst
+	}
+	dir := s.Dir().Normalize()
+	if !inA { // A is outside: the crossing at the entry point heads A-ward
+		dst = append(dst, Boundary{Vertex: v, Point: s.At(tmin), Dir: dir.Neg()})
+	}
+	if !inB { // B is outside: the crossing at the exit point heads B-ward
+		dst = append(dst, Boundary{Vertex: v, Point: s.At(tmax), Dir: dir})
+	}
+	return dst
+}
+
+// MarkReachable walks the graph from the start vertices, marking every
+// reached vertex — query the marks with Reached until the next traversal
+// begins. It charges exactly the traversal ops ReachableFrom would (one per
+// vertex pop, one per edge scan), so prediction cost accounting is unchanged
+// whichever form the caller uses.
+func (g *Graph) MarkReachable(start []int32) {
+	if len(g.ids) == 0 || len(start) == 0 {
+		g.beginVisit() // invalidate stale marks from a previous traversal
+		return
+	}
+	stack := g.beginVisit()
+	for _, v := range start {
+		if v >= 0 && int(v) < len(g.ids) && !g.dead[v] && !g.visitedOnce(v) {
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.ops++
+		for _, w := range g.adj[v] {
+			g.ops++
+			if !g.visitedOnce(w) {
+				stack = append(stack, w)
+			}
+		}
+	}
+	g.stack = stack[:0]
+}
+
+// Reached reports whether v was marked by the last MarkReachable walk.
+func (g *Graph) Reached(v int32) bool {
+	return int(v) < len(g.visitGen) && g.visitGen[v] == g.visitEpoch
+}
+
+// AppendReachedCrossings appends the crossings of every vertex marked by the
+// last MarkReachable walk, in vertex order.
+func (g *Graph) AppendReachedCrossings(dst []Boundary, region geom.Region) []Boundary {
+	for v := int32(0); v < int32(len(g.ids)); v++ {
+		if g.dead[v] || !g.Reached(v) {
+			continue
+		}
+		dst = g.appendCrossingsOf(dst, v, region)
+	}
+	return dst
+}
+
+// CountComponentsOf counts distinct connected components among the given
+// live vertices in O(k·α), recycling the visit stamps for root dedup (this
+// invalidates MarkReachable marks).
+func (g *Graph) CountComponentsOf(verts []int32) int {
+	if len(verts) == 0 {
+		return 0
+	}
+	g.ensureConnectivity()
+	g.beginVisit()
+	n := 0
+	for _, v := range verts {
+		if r := g.find(v); !g.visitedOnce(r) {
+			n++
+		}
+	}
+	return n
 }
 
 // ReachableCrossings performs the prediction traversal of §4.4: a
 // depth-first walk from the given start vertices (the candidate structures'
 // matched crossings), returning the boundary crossings of every reached
 // vertex. The walk is linear in reached vertices and edges; each pop and
-// edge scan increments the ops counter.
+// edge scan increments the ops counter. (The SCOUT hot path uses the
+// equivalent MarkReachable + AppendCrossings filtering to recycle buffers;
+// this composed form remains the reference implementation.)
 func (g *Graph) ReachableCrossings(start []int32, region geom.Region) []Boundary {
 	if len(g.ids) == 0 || len(start) == 0 {
 		return nil
 	}
 	stack := g.beginVisit()
 	for _, v := range start {
-		if v >= 0 && int(v) < len(g.ids) && !g.visitedOnce(v) {
+		if v >= 0 && int(v) < len(g.ids) && !g.dead[v] && !g.visitedOnce(v) {
 			stack = append(stack, v)
 		}
 	}
@@ -126,7 +251,7 @@ func (g *Graph) ReachableFrom(start []int32) []int32 {
 	stack := g.beginVisit()
 	var out []int32
 	for _, v := range start {
-		if v >= 0 && int(v) < len(g.ids) && !g.visitedOnce(v) {
+		if v >= 0 && int(v) < len(g.ids) && !g.dead[v] && !g.visitedOnce(v) {
 			stack = append(stack, v)
 		}
 	}
@@ -146,47 +271,12 @@ func (g *Graph) ReachableFrom(start []int32) []int32 {
 	return out
 }
 
-// CrossingsNear returns the boundary crossings whose point lies within tol
-// of any of the given points. Candidate pruning (§4.3) matches the
-// structures entering query n against the exit locations of query n−1 this
-// way — purely geometrically, never via ground-truth identifiers.
-func (g *Graph) CrossingsNear(region geom.Region, points []geom.Vec3, tol float64) []Boundary {
-	return g.CrossingsNearDir(region, points, nil, tol)
-}
-
-// CrossingsNearDir is CrossingsNear with an optional direction filter: when
-// dirs is non-nil (one expected walk direction per point), a crossing only
-// matches a point if its outward direction OPPOSES the walk — an entering
-// structure's outward crossing points back toward where the user came from.
-// The filter sharpens candidate pruning in dense datasets where proximity
-// alone is ambiguous.
-func (g *Graph) CrossingsNearDir(region geom.Region, points []geom.Vec3, dirs []geom.Vec3, tol float64) []Boundary {
-	if len(points) == 0 {
-		return nil
-	}
-	var out []Boundary
-	tol2 := tol * tol
-	for _, c := range g.Crossings(region) {
-		for i, p := range points {
-			if c.Point.DistSq(p) > tol2 {
-				continue
-			}
-			if dirs != nil && i < len(dirs) && c.Dir.Dot(dirs[i]) > 0.3 {
-				continue // crossing heads the same way as the walk: not an entry
-			}
-			out = append(out, c)
-			break
-		}
-	}
-	return out
-}
-
-// VerticesOfObjects maps object IDs to their vertices, skipping objects not
-// in the graph.
+// VerticesOfObjects maps object IDs to their live vertices, skipping objects
+// not in the graph (or tombstoned).
 func (g *Graph) VerticesOfObjects(ids []pagestore.ObjectID) []int32 {
 	var out []int32
 	for _, id := range ids {
-		if v, ok := g.vert.get(uint32(id)); ok {
+		if v, ok := g.vert.get(uint32(id)); ok && !g.dead[v] {
 			out = append(out, v)
 		}
 	}

@@ -271,29 +271,6 @@ func TestReachableFrom(t *testing.T) {
 	}
 }
 
-func TestCrossingsNear(t *testing.T) {
-	store, _ := chainStore(2, 20, 3)
-	region := geom.Box(geom.V(5.2, -1, -1), geom.V(10.2, 4, 4))
-	var result []pagestore.ObjectID
-	for _, o := range store.Objects() {
-		if o.IntersectsBox(region) {
-			result = append(result, o.ID)
-		}
-	}
-	g := Build(store, region, 32768, result)
-	// Chain 0 crosses at (5.2, 0, 0); chain 1 at (5.2, 3, 3).
-	near := g.CrossingsNear(region, []geom.Vec3{geom.V(5.2, 0, 0)}, 1.0)
-	if len(near) != 1 {
-		t.Fatalf("CrossingsNear = %d, want 1", len(near))
-	}
-	if got := store.Object(g.ObjectAt(near[0].Vertex)).Struct; got != 0 {
-		t.Errorf("matched struct %d, want 0", got)
-	}
-	if got := g.CrossingsNear(region, nil, 1.0); got != nil {
-		t.Error("CrossingsNear(nil points) != nil")
-	}
-}
-
 func TestMemoryBytesGrows(t *testing.T) {
 	store, _ := chainStore(1, 100, 1)
 	bounds := geom.Box(geom.V(-1, -1, -1), geom.V(101, 1, 1))

@@ -1,0 +1,102 @@
+package sgraph
+
+// intMap64 is intMap with uint64 keys: a linear-probed open-addressed table
+// with epoch-stamped slots and recycled backing arrays. The delta lifecycle
+// keys grid-cell chains by packed world cell coordinates (see lattice), which
+// need 63 bits; everything else about the table matches intMap — keep the
+// reset/get/put/grow logic of the two siblings in sync (they stay separate,
+// hand-specialized with width-appropriate hash mixers, because both sit on
+// the graph-build hot path).
+type intMap64 struct {
+	keys []uint64
+	vals []int32
+	gens []uint32
+	gen  uint32
+	n    int
+}
+
+// hashKey64 mixes the key (splitmix64 finalizer-style) so packed cell
+// coordinates — highly clustered along voxel walks — spread across the table.
+func hashKey64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// reset invalidates all entries in O(1), keeping capacity.
+func (m *intMap64) reset() {
+	m.n = 0
+	m.gen++
+	if m.gen == 0 { // wrapped: stale stamps could collide with a live epoch
+		for i := range m.gens {
+			m.gens[i] = 0
+		}
+		m.gen = 1
+	}
+}
+
+// get returns the value stored under k.
+func (m *intMap64) get(k uint64) (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := hashKey64(k) & mask; ; i = (i + 1) & mask {
+		if m.gens[i] != m.gen {
+			return 0, false
+		}
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+	}
+}
+
+// put inserts or overwrites the value under k.
+func (m *intMap64) put(k uint64, v int32) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := hashKey64(k) & mask; ; i = (i + 1) & mask {
+		if m.gens[i] != m.gen {
+			m.keys[i] = k
+			m.vals[i] = v
+			m.gens[i] = m.gen
+			m.n++
+			return
+		}
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+	}
+}
+
+// grow doubles the table (min 64 slots) and rehashes the live entries.
+func (m *intMap64) grow() {
+	size := 2 * len(m.keys)
+	if size < 64 {
+		size = 64
+	}
+	keys := make([]uint64, size)
+	vals := make([]int32, size)
+	gens := make([]uint32, size)
+	mask := uint64(size - 1)
+	for i, g := range m.gens {
+		if g != m.gen {
+			continue
+		}
+		k := m.keys[i]
+		for j := hashKey64(k) & mask; ; j = (j + 1) & mask {
+			if gens[j] != m.gen {
+				keys[j], vals[j], gens[j] = k, m.vals[i], m.gen
+				break
+			}
+		}
+	}
+	m.keys, m.vals, m.gens = keys, vals, gens
+	if m.gen == 0 { // fresh table with gen 0 would mark every slot live
+		m.gen = 1
+	}
+}
