@@ -7,7 +7,8 @@
 // default tolerance (25%) absorbs typical CI-runner variance, and
 // -max-regress (or the BENCH_TOLERANCE environment variable) widens it for
 // noisier fleets. Experiments present in only one file are reported but
-// never fail the diff.
+// never fail the diff, and experiments under -min-wall milliseconds in both
+// files (scheduler-noise territory) are reported but never fail either.
 //
 // Usage:
 //
@@ -42,6 +43,7 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
 		freshPath    = flag.String("fresh", "BENCH_fresh.json", "freshly generated JSON to compare")
 		maxRegress   = flag.Float64("max-regress", 0.25, "max per-experiment wall-clock regression (0.25 = +25%)")
+		minWall      = flag.Float64("min-wall", 25, "ignore regressions when both baseline and fresh are under this many ms (noise-dominated)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,11 @@ func main() {
 			base.Scale, fresh.Scale, base.Sequences, fresh.Sequences, base.Seed, fresh.Seed)
 		os.Exit(2)
 	}
+	if base.Sessions != fresh.Sessions || base.SessionPolicy != fresh.SessionPolicy {
+		fmt.Fprintf(os.Stderr, "benchdiff: multi-session configuration mismatch (sessions %d vs %d, policy %q vs %q) — comparison void\n",
+			base.Sessions, fresh.Sessions, base.SessionPolicy, fresh.SessionPolicy)
+		os.Exit(2)
+	}
 
 	byID := map[string]benchfmt.Record{}
 	for _, r := range base.Experiments {
@@ -90,8 +97,14 @@ func main() {
 		}
 		marker := ""
 		if delta > *maxRegress {
-			marker = "  REGRESSION"
-			failed = true
+			// A percentage gate on a few milliseconds is pure scheduler
+			// noise: only experiments that take real time can regress.
+			if br.WallMS < *minWall && fr.WallMS < *minWall {
+				marker = "  (ignored: below min-wall)"
+			} else {
+				marker = "  REGRESSION"
+				failed = true
+			}
 		}
 		fmt.Printf("%-26s %12.1f %12.1f %+8.1f%%%s\n", fr.ID, br.WallMS, fr.WallMS, delta*100, marker)
 	}

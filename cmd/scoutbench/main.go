@@ -15,6 +15,8 @@
 //	scoutbench -exp fig11a            # one experiment at full scale
 //	scoutbench -exp all -scale 0.25   # everything, quarter-scale datasets
 //	scoutbench -exp fig13d -seqs 10   # fewer sequences for a quick look
+//	scoutbench -exp mu2 -sessions 16  # 16 concurrent sessions, policy ablation
+//	scoutbench -exp mu1 -policy none  # multi-session, unarbitrated baseline
 //	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"scout/internal/benchfmt"
+	"scout/internal/engine"
 	"scout/internal/experiments"
 )
 
@@ -40,6 +43,8 @@ func main() {
 		seqs       = flag.Int("seqs", 0, "override sequences per measurement (0 = paper count)")
 		seed       = flag.Int64("seed", 7, "workload random seed")
 		workers    = flag.Int("workers", 0, "sequence-level worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		sessions   = flag.Int("sessions", 0, "override the mu* experiments' session-count sweep with one count (0 = sweep 1..64)")
+		policy     = flag.String("policy", "", "override the mu* arbiter policy: fair, demand, starved or none (empty = per-experiment default/ablation)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -55,7 +60,14 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers}
+	if *policy != "" {
+		if _, err := engine.ParsePolicy(*policy); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers,
+		Sessions: *sessions, Policy: *policy}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -120,12 +132,25 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// -sessions/-policy only affect the mu* experiments; stamping them into
+	// the JSON for a mu-free run would make benchdiff void comparisons
+	// between configurations that are actually identical.
+	hasMu := false
+	for _, e := range toRun {
+		if strings.HasPrefix(e.ID, "mu") {
+			hasMu = true
+		}
+	}
 	out := benchfmt.File{
 		Scale:      *scale,
 		Sequences:  *seqs,
 		Seed:       *seed,
 		Workers:    *workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if hasMu {
+		out.Sessions = *sessions
+		out.SessionPolicy = *policy
 	}
 	// total accumulates only the (parallel) experiment runs, excluding the
 	// -compare sequential re-runs, so the JSON trajectory metric tracks the

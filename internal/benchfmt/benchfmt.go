@@ -17,11 +17,16 @@ type Record struct {
 
 // File is the schema of BENCH_hotpath.json.
 type File struct {
-	Scale       float64  `json:"scale"`
-	Sequences   int      `json:"sequences"`
-	Seed        int64    `json:"seed"`
-	Workers     int      `json:"workers"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	TotalWallMS float64  `json:"total_wall_ms"`
-	Experiments []Record `json:"experiments"`
+	Scale     float64 `json:"scale"`
+	Sequences int     `json:"sequences"`
+	Seed      int64   `json:"seed"`
+	Workers   int     `json:"workers"`
+	// Sessions and SessionPolicy record the -sessions/-policy overrides of
+	// the mu* multi-session experiments (zero/empty = full sweep). They are
+	// part of the configuration benchdiff refuses to compare across.
+	Sessions      int      `json:"sessions,omitempty"`
+	SessionPolicy string   `json:"session_policy,omitempty"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	TotalWallMS   float64  `json:"total_wall_ms"`
+	Experiments   []Record `json:"experiments"`
 }

@@ -34,6 +34,43 @@ type QueryStats struct {
 	GraphDelta bool
 }
 
+// SessionStats aggregates SCOUT's per-query internals over a serving
+// session's whole lifetime. Unlike QueryStats (last observation only) it
+// survives Reset: a multi-session serving session spans many sequences and
+// Reset is the between-sequence boundary. It records behavior without ever
+// influencing it, so the Reset ≡ fresh invariant the parallel harness
+// relies on is untouched. Clone starts a fresh ledger.
+type SessionStats struct {
+	Queries     int64
+	FullBuilds  int64
+	DeltaBuilds int64
+	GraphBuild  time.Duration
+	Prediction  time.Duration
+	GapPages    int64
+}
+
+// record folds one observation into the ledger.
+func (ss *SessionStats) record(q QueryStats) {
+	ss.Queries++
+	if q.GraphDelta {
+		ss.DeltaBuilds++
+	} else {
+		ss.FullBuilds++
+	}
+	ss.GraphBuild += q.GraphBuild
+	ss.Prediction += q.Prediction
+	ss.GapPages += int64(q.GapPages)
+}
+
+// DeltaShare returns the fraction of queries served by incremental graph
+// advances.
+func (ss SessionStats) DeltaShare() float64 {
+	if ss.Queries == 0 {
+		return 0
+	}
+	return float64(ss.DeltaBuilds) / float64(ss.Queries)
+}
+
 // Scout is the paper's base prefetcher: structure-aware prediction over any
 // spatial index.
 type Scout struct {
@@ -52,6 +89,7 @@ type Scout struct {
 	centers   []geom.Vec3
 	plan      prefetch.Plan
 	stats     QueryStats
+	session   SessionStats
 
 	// graph is the reusable arena carried across queries. When consecutive
 	// results overlap enough it is advanced in place (sgraph's delta
@@ -125,6 +163,14 @@ func (s *Scout) Clone() prefetch.Prefetcher {
 // LastStats returns the internals of the most recent observation.
 func (s *Scout) LastStats() QueryStats { return s.stats }
 
+// Session returns the session-scoped ledger accumulated across every
+// observation since construction (or ClearSession). Reset does NOT clear
+// it — Reset marks a sequence boundary, not a session boundary.
+func (s *Scout) Session() SessionStats { return s.session }
+
+// ClearSession zeroes the session-scoped ledger.
+func (s *Scout) ClearSession() { s.session = SessionStats{} }
+
 // Plan implements prefetch.Prefetcher.
 func (s *Scout) Plan() prefetch.Plan { return s.plan }
 
@@ -157,6 +203,7 @@ func (s *Scout) Observe(obs prefetch.Observation) {
 		Exits:         len(exits),
 		GraphDelta:    advanced,
 	}
+	s.session.record(s.stats)
 	s.plan = prefetch.Plan{
 		// The ladder is sized to the next query's page FOOTPRINT — for
 		// boxes that is the query volume, for frusta the (larger) bounding

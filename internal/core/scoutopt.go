@@ -155,6 +155,7 @@ func (s *ScoutOpt) Observe(obs prefetch.Observation) {
 		GapPages:      len(gapPages),
 		GraphDelta:    advanced,
 	}
+	s.session.record(s.stats)
 	s.plan = prefetch.Plan{
 		Requests:   reqs,
 		GraphBuild: buildCost,

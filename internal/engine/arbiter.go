@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects how the prefetch budget arbiter splits disk time between
+// concurrent sessions during overlapping prefetch windows. Without an
+// arbiter one aggressive session (large windows, high miss rate) can hog
+// the disk and evict every other session's working set; the policies below
+// trade aggregate throughput against per-session fairness.
+type Policy int
+
+const (
+	// FairShare grants every contending session an equal slice of its
+	// window: grant = window / (1 + contenders).
+	FairShare Policy = iota
+	// DemandWeighted scales the fair share by the session's recent demand
+	// (EWMA of miss pages per query) relative to its contenders: sessions
+	// whose working set is colder get more disk time to warm it.
+	DemandWeighted
+	// StarvedFirst gives the contending session with the lowest recent hit
+	// rate its full window and throttles everyone else to half a fair
+	// share, so a starved session recovers quickly.
+	StarvedFirst
+	// Unarbitrated grants every session its full window — the paper's
+	// single-session behavior applied blindly under concurrency. It is the
+	// ablation baseline, and the mode in which a multi-session run with
+	// private caches and no interference penalty is byte-identical to
+	// isolated single-session runs.
+	Unarbitrated
+)
+
+// String names the policy as the mu* experiment tables do.
+func (p Policy) String() string {
+	switch p {
+	case FairShare:
+		return "fair"
+	case DemandWeighted:
+		return "demand"
+	case StarvedFirst:
+		return "starved"
+	case Unarbitrated:
+		return "none"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Policies returns every arbiter policy, in ablation-table order.
+func Policies() []Policy {
+	return []Policy{FairShare, DemandWeighted, StarvedFirst, Unarbitrated}
+}
+
+// ParsePolicy resolves a -policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown arbiter policy %q (want fair, demand, starved or none)", s)
+}
+
+// demandAlpha is the EWMA weight of the most recent query in a session's
+// demand and hit-rate ledgers.
+const demandAlpha = 0.3
+
+// ledger is the arbiter's per-session view of recent behavior.
+type ledger struct {
+	// demand is an EWMA of miss pages per query — how much disk the
+	// session has recently needed.
+	demand float64
+	// hitRate is an EWMA of the session's per-query cache hit rate.
+	hitRate float64
+	// queries counts Record calls, so unobserved sessions can be excluded
+	// from weighting.
+	queries int64
+	// granted and used accumulate the arbiter's decisions for reporting.
+	granted time.Duration
+	used    time.Duration
+}
+
+// Arbiter splits the per-window prefetch budget across sessions by a
+// pluggable policy. It is safe for concurrent use; the serving layer's
+// deterministic commit loop calls it in virtual-time order, so its
+// decisions are reproducible run to run.
+type Arbiter struct {
+	mu      sync.Mutex
+	policy  Policy
+	ledgers []ledger
+}
+
+// NewArbiter creates an arbiter for a fixed session population.
+func NewArbiter(policy Policy, sessions int) *Arbiter {
+	if sessions < 1 {
+		sessions = 1
+	}
+	return &Arbiter{policy: policy, ledgers: make([]ledger, sessions)}
+}
+
+// Policy returns the arbiter's policy.
+func (a *Arbiter) Policy() Policy {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.policy
+}
+
+// Grant returns how much of the session's prefetch window it may spend on
+// prefetch I/O, given the sessions currently contending for the disk
+// (sessions whose I/O is still in flight at this virtual time). The grant
+// never exceeds the window and is zero for a non-positive window.
+func (a *Arbiter) Grant(session int, contenders []int, window time.Duration) time.Duration {
+	if window <= 0 {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if session < 0 || session >= len(a.ledgers) {
+		return 0
+	}
+	active := 1 + len(contenders)
+	var grant time.Duration
+	switch a.policy {
+	case Unarbitrated:
+		grant = window
+	case FairShare:
+		grant = window / time.Duration(active)
+	case DemandWeighted:
+		grant = a.demandGrant(session, contenders, window, active)
+	case StarvedFirst:
+		grant = a.starvedGrant(session, contenders, window, active)
+	default:
+		grant = window / time.Duration(active)
+	}
+	if grant > window {
+		grant = window
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	a.ledgers[session].granted += grant
+	return grant
+}
+
+// demandGrant scales the fair share by the session's demand relative to the
+// mean demand of the contending set. Sessions that have not recorded a
+// query yet weigh as the neutral 1.0.
+func (a *Arbiter) demandGrant(session int, contenders []int, window time.Duration, active int) time.Duration {
+	mine := a.weightOf(session)
+	total := mine
+	for _, c := range contenders {
+		total += a.weightOf(c)
+	}
+	if total <= 0 {
+		return window / time.Duration(active)
+	}
+	// share = window × (my weight / total weight); with equal weights this
+	// degenerates to the fair share.
+	return time.Duration(float64(window) * mine / total)
+}
+
+// weightOf returns a session's demand weight: its miss-page EWMA, floored
+// so a fully warm session still makes progress, or 1.0 before any Record.
+func (a *Arbiter) weightOf(session int) float64 {
+	if session < 0 || session >= len(a.ledgers) {
+		return 0
+	}
+	l := a.ledgers[session]
+	if l.queries == 0 {
+		return 1
+	}
+	if l.demand < 0.1 {
+		return 0.1
+	}
+	return l.demand
+}
+
+// starvedGrant finds the lowest recent hit rate among the contending set;
+// the starved session keeps its full window, everyone else gets half a
+// fair share. Ties (including the all-fresh start) are starved too, so the
+// first windows run unthrottled.
+func (a *Arbiter) starvedGrant(session int, contenders []int, window time.Duration, active int) time.Duration {
+	min := a.hitOf(session)
+	for _, c := range contenders {
+		if h := a.hitOf(c); h < min {
+			min = h
+		}
+	}
+	const tieTol = 1e-9
+	if a.hitOf(session) <= min+tieTol {
+		return window
+	}
+	return window / time.Duration(2*active)
+}
+
+// hitOf returns a session's hit-rate EWMA (0 before any Record, which marks
+// fresh sessions as maximally starved).
+func (a *Arbiter) hitOf(session int) float64 {
+	if session < 0 || session >= len(a.ledgers) {
+		return 0
+	}
+	return a.ledgers[session].hitRate
+}
+
+// Record feeds one completed query back into the session's ledger: how
+// many result pages it touched, how many hit the cache, and how much
+// prefetch I/O time it actually used of its last grant.
+func (a *Arbiter) Record(session, resultPages, hitPages int, used time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if session < 0 || session >= len(a.ledgers) {
+		return
+	}
+	l := &a.ledgers[session]
+	miss := float64(resultPages - hitPages)
+	if miss < 0 {
+		miss = 0
+	}
+	hit := 0.0
+	if resultPages > 0 {
+		hit = float64(hitPages) / float64(resultPages)
+	}
+	if l.queries == 0 {
+		l.demand = miss
+		l.hitRate = hit
+	} else {
+		l.demand = demandAlpha*miss + (1-demandAlpha)*l.demand
+		l.hitRate = demandAlpha*hit + (1-demandAlpha)*l.hitRate
+	}
+	l.queries++
+	l.used += used
+}
+
+// SessionLedger is the exported snapshot of one session's arbiter state.
+type SessionLedger struct {
+	Queries int64
+	Demand  float64 // EWMA miss pages per query
+	HitRate float64 // EWMA per-query hit rate
+	Granted time.Duration
+	Used    time.Duration
+}
+
+// Ledger returns the snapshot for one session (zero value out of range).
+func (a *Arbiter) Ledger(session int) SessionLedger {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if session < 0 || session >= len(a.ledgers) {
+		return SessionLedger{}
+	}
+	l := a.ledgers[session]
+	return SessionLedger{
+		Queries: l.queries,
+		Demand:  l.demand,
+		HitRate: l.hitRate,
+		Granted: l.granted,
+		Used:    l.used,
+	}
+}

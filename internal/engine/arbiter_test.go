@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFairShareSplitsWindow(t *testing.T) {
+	a := NewArbiter(FairShare, 4)
+	w := 100 * time.Millisecond
+	if got := a.Grant(0, nil, w); got != w {
+		t.Errorf("uncontended fair share = %v, want full window", got)
+	}
+	if got := a.Grant(0, []int{1, 2, 3}, w); got != w/4 {
+		t.Errorf("4-way fair share = %v, want %v", got, w/4)
+	}
+	if got := a.Grant(0, nil, 0); got != 0 {
+		t.Errorf("zero window granted %v", got)
+	}
+}
+
+func TestUnarbitratedGrantsFullWindow(t *testing.T) {
+	a := NewArbiter(Unarbitrated, 2)
+	w := 42 * time.Millisecond
+	if got := a.Grant(1, []int{0}, w); got != w {
+		t.Errorf("unarbitrated grant = %v, want %v", got, w)
+	}
+}
+
+func TestDemandWeightedFavorsColdSessions(t *testing.T) {
+	a := NewArbiter(DemandWeighted, 2)
+	// Session 0 misses everything, session 1 hits everything.
+	for i := 0; i < 10; i++ {
+		a.Record(0, 100, 0, 0)   // demand 100 pages/query
+		a.Record(1, 100, 100, 0) // demand 0 (floored to 0.1)
+	}
+	w := 100 * time.Millisecond
+	hungry := a.Grant(0, []int{1}, w)
+	warm := a.Grant(1, []int{0}, w)
+	if hungry <= warm {
+		t.Errorf("demand weighting inverted: hungry %v ≤ warm %v", hungry, warm)
+	}
+	if hungry > w {
+		t.Errorf("grant %v exceeds window %v", hungry, w)
+	}
+	fair := w / 2
+	if hungry <= fair {
+		t.Errorf("hungry session got %v, want more than fair share %v", hungry, fair)
+	}
+}
+
+func TestStarvedFirstPrioritizesLowHitRate(t *testing.T) {
+	a := NewArbiter(StarvedFirst, 3)
+	for i := 0; i < 10; i++ {
+		a.Record(0, 100, 10, 0) // starved
+		a.Record(1, 100, 90, 0)
+		a.Record(2, 100, 95, 0)
+	}
+	w := 100 * time.Millisecond
+	if got := a.Grant(0, []int{1, 2}, w); got != w {
+		t.Errorf("starved session granted %v, want full window", got)
+	}
+	throttled := a.Grant(1, []int{0, 2}, w)
+	if throttled != w/6 {
+		t.Errorf("non-starved session granted %v, want %v", throttled, w/6)
+	}
+}
+
+func TestLedgerAccumulates(t *testing.T) {
+	a := NewArbiter(FairShare, 2)
+	a.Grant(0, []int{1}, 100*time.Millisecond)
+	a.Record(0, 10, 5, 20*time.Millisecond)
+	l := a.Ledger(0)
+	if l.Queries != 1 || l.Granted != 50*time.Millisecond || l.Used != 20*time.Millisecond {
+		t.Errorf("ledger = %+v", l)
+	}
+	if l.HitRate != 0.5 || l.Demand != 5 {
+		t.Errorf("ledger EWMAs = %+v", l)
+	}
+	if out := a.Ledger(99); out != (SessionLedger{}) {
+		t.Errorf("out-of-range ledger = %+v", out)
+	}
+}
+
+// TestArbiterRaceHammer drives Grant/Record/Ledger from 16 goroutines so
+// `go test -race` exercises the arbiter's locking alongside the sharded
+// cache's (cache/cache_race_test.go).
+func TestArbiterRaceHammer(t *testing.T) {
+	const goroutines = 16
+	for _, policy := range Policies() {
+		a := NewArbiter(policy, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				contenders := []int{(g + 1) % goroutines, (g + 2) % goroutines}
+				for i := 0; i < 2_000; i++ {
+					grant := a.Grant(g, contenders, time.Duration(i+1)*time.Microsecond)
+					if grant < 0 || grant > time.Duration(i+1)*time.Microsecond {
+						t.Errorf("grant %v out of range", grant)
+						return
+					}
+					a.Record(g, 10+i%7, i%11, grant/2)
+					if i%64 == 0 {
+						a.Ledger(g)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < goroutines; g++ {
+			if l := a.Ledger(g); l.Queries != 2_000 {
+				t.Errorf("%v: session %d recorded %d queries, want 2000", policy, g, l.Queries)
+			}
+		}
+	}
+}

@@ -119,22 +119,11 @@ func New(store *pagestore.Store, index Index, cfg Config) *Engine {
 	if cfg.Cost == (pagestore.CostModel{}) {
 		cfg.Cost = pagestore.DefaultCostModel()
 	}
-	capacity := cfg.CachePages
-	if capacity <= 0 {
-		frac := cfg.CacheFraction
-		if frac <= 0 {
-			frac = 4.0 / 33.0
-		}
-		capacity = int(frac * float64(store.NumPages()))
-		if capacity < 1 {
-			capacity = 1
-		}
-	}
 	return &Engine{
 		store: store,
 		index: index,
 		disk:  pagestore.NewDisk(store, cfg.Cost),
-		cache: cache.New(capacity),
+		cache: cache.New(cacheCapacity(cfg, store)),
 		cfg:   cfg,
 	}
 }
@@ -241,6 +230,11 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 // executePlan reads the plan's pages into the cache until the window budget
 // is exhausted: first the gap-traversal pages, then the incremental request
 // ladder. It returns the number of pages prefetched and the I/O time spent.
+//
+// commitPlan (serve.go) replays this loop against the shared cache/disk
+// with pre-resolved request pages; the two must stay semantically
+// identical — TestServeIsolatedMatchesSingleSession pins the equivalence
+// byte-for-byte.
 func (e *Engine) executePlan(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
 	var spent time.Duration
 	prefetched := 0
@@ -286,17 +280,10 @@ func (e *Engine) executePlan(plan prefetch.Plan, budget time.Duration) (int, tim
 	return prefetched, spent
 }
 
-// queryObjects filters the candidate pages' objects by the region.
+// queryObjects filters the candidate pages' objects by the region (shared
+// with the multi-session plan phase; see serve.go).
 func (e *Engine) queryObjects(r geom.Region, pages []pagestore.PageID) []pagestore.ObjectID {
-	var out []pagestore.ObjectID
-	for _, pg := range pages {
-		for _, id := range e.store.PageObjects(pg) {
-			if pagestore.Matches(r, e.store.Object(id)) {
-				out = append(out, id)
-			}
-		}
-	}
-	return out
+	return queryObjects(e.store, r, pages)
 }
 
 // Clone creates an engine over the same (immutable) store and index with

@@ -1,0 +1,594 @@
+// Multi-session serving: N concurrent navigation sessions — each with its
+// own prefetcher clone and virtual clock — share one page cache and one
+// disk. Execution is split into two phases so the output is byte-identical
+// for any worker count:
+//
+//  1. a parallel PLAN phase: each session independently runs its
+//     prefetcher over its own query trajectory (observations and plans
+//     depend only on the immutable store and index, never on cache state)
+//     and resolves every planned region to sorted page lists;
+//  2. a sequential COMMIT phase: a discrete-event loop replays the
+//     sessions' queries against the shared cache, the shared disk (per-
+//     session head tracking plus a global seek-interference penalty) and
+//     the prefetch-budget arbiter, in virtual-time order with session ID
+//     as the deterministic tie-break.
+//
+// The split is exact, not an approximation: a prefetcher's Observation
+// carries the query's result objects, which are a pure function of the
+// query region, so the planning trajectory is independent of what the
+// cache happened to hold. Only serving costs (hits, residual I/O, window
+// prefetching) depend on shared state, and those all commit in phase 2.
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"scout/internal/cache"
+	"scout/internal/geom"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// SessionWorkload binds one session's query sequences to its prefetcher.
+// Each session must get its own prefetcher instance (clones are fine); the
+// serving layer Resets it at every sequence start, exactly like
+// Engine.RunSequence.
+type SessionWorkload struct {
+	Sequences  []workload.Sequence
+	Prefetcher prefetch.Prefetcher
+}
+
+// ServeConfig parameterizes a multi-session run.
+type ServeConfig struct {
+	// Engine supplies cache sizing, the cost model and SkipFirstQuery,
+	// exactly as for a single-session engine.
+	Engine Config
+	// Policy selects how the arbiter splits prefetch budgets between
+	// contending sessions.
+	Policy Policy
+	// PrivateCaches gives every session its own full-size single-threaded
+	// cache instead of one shared sharded cache: the "N independent
+	// replicas" baseline, and the mode in which (with Unarbitrated policy
+	// and no interference) a serve is byte-identical to isolated
+	// single-session runs.
+	PrivateCaches bool
+	// CacheShards is the shared cache's shard count (rounded up to a power
+	// of two; 0 = 16). Ignored with PrivateCaches.
+	CacheShards int
+	// InterferenceSeek is the extra seek latency charged per contending
+	// session on every seek: queueing and head-stealing on the shared
+	// disk. 0 disables cross-session disk interference.
+	InterferenceSeek time.Duration
+	// Workers bounds the plan phase's parallelism (0 = GOMAXPROCS).
+	// Results are byte-identical for any value.
+	Workers int
+}
+
+// SessionResult is one session's outcome.
+type SessionResult struct {
+	Session int
+	// Sequences holds one SequenceResult per sequence, identical in shape
+	// to Engine.RunSequence's output.
+	Sequences []SequenceResult
+	// Responses lists the counted queries' response times (residual I/O)
+	// in execution order — the raw samples behind p50/p95.
+	Responses []time.Duration
+	// Completed is the virtual time the session's last response was
+	// delivered.
+	Completed time.Duration
+	// Ledger is the arbiter's final view of the session.
+	Ledger SessionLedger
+}
+
+// Aggregate merges the session's per-sequence results.
+func (s SessionResult) Aggregate() Aggregate {
+	var agg Aggregate
+	for _, r := range s.Sequences {
+		agg.add(r)
+	}
+	return agg
+}
+
+// ServeResult is the outcome of a multi-session run.
+type ServeResult struct {
+	Sessions []SessionResult
+	// Cache is the shared cache's epoch-stamped snapshot. With
+	// PrivateCaches it aggregates the per-session caches (Shards 0).
+	Cache cache.StatsSnapshot
+	// Disk aggregates all sessions' I/O.
+	Disk pagestore.DiskStats
+	// InterferenceSeeks counts seeks that paid a nonzero interference
+	// penalty; Interference is the total penalty time charged.
+	InterferenceSeeks int64
+	Interference      time.Duration
+	// Makespan is the latest response delivery across sessions.
+	Makespan time.Duration
+	// Queries counts every executed query (including each sequence's
+	// uncounted first query).
+	Queries int64
+}
+
+// Throughput returns served queries per simulated second.
+func (r ServeResult) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Makespan.Seconds()
+}
+
+// HitRate pools the counted hit rate across sessions.
+func (r ServeResult) HitRate() float64 {
+	var hit, total int64
+	for _, s := range r.Sessions {
+		a := s.Aggregate()
+		hit += a.HitPages
+		total += a.TotalPages
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// Responses pools every session's response samples (execution order within
+// a session, sessions concatenated in ID order).
+func (r ServeResult) Responses() []time.Duration {
+	var out []time.Duration
+	for _, s := range r.Sessions {
+		out = append(out, s.Responses...)
+	}
+	return out
+}
+
+// Percentile returns the nearest-rank p-th percentile (0 < p ≤ 100) of the
+// samples, or 0 when empty. The input is not modified.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(float64(len(sorted))*p/100)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// step is one planned query: everything phase 1 can precompute without
+// touching shared state.
+type step struct {
+	seqIdx, queryIdx int
+	last             bool // last query of its sequence: no prefetch window I/O
+	pages            []pagestore.PageID
+	cold             time.Duration
+	window           time.Duration
+	graphBuild       time.Duration
+	prediction       time.Duration
+	graphDelta       bool
+	predictionHidden bool
+	traversal        []pagestore.PageID
+	reqPages         [][]pagestore.PageID // per plan request, sorted ascending
+}
+
+// pageCache is the cache surface the commit loop needs; both the
+// single-threaded Cache (private mode) and Sharded satisfy it.
+type pageCache interface {
+	Lookup(pagestore.PageID) bool
+	Contains(pagestore.PageID) bool
+	Insert(pagestore.PageID) bool
+	Clear()
+}
+
+// sharedDisk prices reads on the shared disk: one cost model, one stats
+// ledger, but a physical head position per session, plus the global
+// seek-interference penalty.
+type sharedDisk struct {
+	model             pagestore.CostModel
+	interference      time.Duration
+	heads             []pagestore.PageID
+	stats             pagestore.DiskStats
+	interferenceSeeks int64
+	interferenceTime  time.Duration
+	sortBuf           []pagestore.PageID
+}
+
+func newSharedDisk(model pagestore.CostModel, interference time.Duration, sessions int) *sharedDisk {
+	heads := make([]pagestore.PageID, sessions)
+	for i := range heads {
+		heads[i] = pagestore.InvalidPage
+	}
+	return &sharedDisk{model: model, interference: interference, heads: heads}
+}
+
+func (d *sharedDisk) resetHead(session int) { d.heads[session] = pagestore.InvalidPage }
+
+// readPage charges one page read on the session's head, with contenders
+// other sessions' I/O in flight. The base charge is CostModel.PageCost —
+// shared with pagestore.Disk.ReadPage — so with zero contenders (or a
+// zero penalty) it is exactly the single-session charge, the equivalence
+// TestServeIsolatedMatchesSingleSession pins.
+func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) time.Duration {
+	cost, seek := d.model.PageCost(d.heads[session], p)
+	if seek {
+		d.stats.Seeks++
+		if contenders > 0 && d.interference > 0 {
+			penalty := time.Duration(contenders) * d.interference
+			cost += penalty
+			d.interferenceSeeks++
+			d.interferenceTime += penalty
+		}
+	}
+	d.heads[session] = p
+	d.stats.PagesRead++
+	d.stats.SimulatedIO += cost
+	return cost
+}
+
+// readPages reads a page set in ascending physical order, like
+// Disk.ReadPages.
+func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders int) time.Duration {
+	if len(pages) == 0 {
+		return 0
+	}
+	d.sortBuf = append(d.sortBuf[:0], pages...)
+	pagestore.SortPageIDs(d.sortBuf)
+	var total time.Duration
+	for _, p := range d.sortBuf {
+		total += d.readPage(session, p, contenders)
+	}
+	return total
+}
+
+// cacheCapacity sizes the prefetch cache; Engine.New and the serving
+// layer's commit phase both use it, so single- and multi-session caches
+// can never drift apart.
+func cacheCapacity(cfg Config, store *pagestore.Store) int {
+	capacity := cfg.CachePages
+	if capacity <= 0 {
+		frac := cfg.CacheFraction
+		if frac <= 0 {
+			frac = 4.0 / 33.0
+		}
+		capacity = int(frac * float64(store.NumPages()))
+		if capacity < 1 {
+			capacity = 1
+		}
+	}
+	return capacity
+}
+
+// queryObjects filters the candidate pages' objects by the region; the
+// single-session Engine.queryObjects delegates here.
+func queryObjects(store *pagestore.Store, r geom.Region, pages []pagestore.PageID) []pagestore.ObjectID {
+	var out []pagestore.ObjectID
+	for _, pg := range pages {
+		for _, id := range store.PageObjects(pg) {
+			if pagestore.Matches(r, store.Object(id)) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// SessionPlans is the reusable output of the plan phase: every session's
+// full prefetcher trajectory, priced and page-resolved. Plans depend only
+// on the immutable store/index, the workloads and the cost model — never
+// on policy, cache mode or interference — so one plan set can be committed
+// under many ServeConfigs (the mu* policy ablations do exactly that
+// instead of re-running SCOUT per policy). Plans are read-only during
+// commit and safe to reuse.
+type SessionPlans struct {
+	store *pagestore.Store
+	index Index
+	cost  pagestore.CostModel
+	steps [][]step
+}
+
+// PlanSessions runs the plan phase only: each session's prefetcher runs
+// over its own trajectory, fanned across workers goroutines (0 =
+// GOMAXPROCS). Deterministic for any worker count.
+func PlanSessions(store *pagestore.Store, index Index, workloads []SessionWorkload, cost pagestore.CostModel, workers int) *SessionPlans {
+	if cost == (pagestore.CostModel{}) {
+		cost = pagestore.DefaultCostModel()
+	}
+	n := len(workloads)
+	plans := &SessionPlans{store: store, index: index, cost: cost, steps: make([][]step, n)}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range workloads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			plans.steps[i] = planSession(store, index, workloads[i], cost)
+		}(i)
+	}
+	wg.Wait()
+	return plans
+}
+
+// Serve runs the session workloads to completion against one shared cache,
+// one shared disk and one prefetch-budget arbiter, and returns per-session
+// results plus the shared-resource stats. Output is deterministic: the
+// same store, workloads and config produce byte-identical results for any
+// Workers value. To commit the same workloads under several configs
+// without re-running the prefetchers, use PlanSessions + SessionPlans.Serve.
+func Serve(store *pagestore.Store, index Index, workloads []SessionWorkload, cfg ServeConfig) ServeResult {
+	return PlanSessions(store, index, workloads, cfg.Engine.Cost, cfg.Workers).Serve(cfg)
+}
+
+// Serve is the commit phase: the deterministic virtual-time event loop
+// over the planned sessions. The plan's cost model overrides
+// cfg.Engine.Cost — plans priced under one model must not be committed
+// under another.
+func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
+	cfg.Engine.Cost = p.cost
+	store := p.store
+	plans := p.steps
+	n := len(plans)
+	if n == 0 {
+		return ServeResult{}
+	}
+
+	capacity := cacheCapacity(cfg.Engine, store)
+	var shared *cache.Sharded
+	caches := make([]pageCache, n)
+	if cfg.PrivateCaches {
+		for i := range caches {
+			caches[i] = cache.New(capacity)
+		}
+	} else {
+		shards := cfg.CacheShards
+		if shards <= 0 {
+			// Default 16 shards, halved until every shard holds at least 8
+			// pages: tiny caches (scaled-down test datasets) would otherwise
+			// quantize to ~1 page per shard and destroy LRU behavior.
+			shards = 16
+			for shards > 1 && capacity/shards < 8 {
+				shards /= 2
+			}
+		}
+		shared = cache.NewSharded(capacity, shards)
+		for i := range caches {
+			caches[i] = shared
+		}
+	}
+	disk := newSharedDisk(cfg.Engine.Cost, cfg.InterferenceSeek, n)
+	arb := NewArbiter(cfg.Policy, n)
+
+	type sessState struct {
+		now       time.Duration
+		busyUntil time.Duration
+		stepIdx   int
+		cur       SequenceResult
+		out       SessionResult
+	}
+	states := make([]*sessState, n)
+	for i := range states {
+		states[i] = &sessState{out: SessionResult{Session: i}}
+	}
+
+	res := ServeResult{}
+	var missBuf []pagestore.PageID
+	var contBuf []int
+	for {
+		// Next event: the unfinished session with the smallest clock,
+		// lowest ID breaking ties.
+		s := -1
+		for i, st := range states {
+			if st.stepIdx >= len(plans[i]) {
+				continue
+			}
+			if s == -1 || st.now < states[s].now {
+				s = i
+			}
+		}
+		if s == -1 {
+			break
+		}
+		ss := states[s]
+		st := plans[s][ss.stepIdx]
+		t := ss.now
+
+		// Contenders: other sessions whose disk I/O is still in flight at
+		// this virtual time.
+		contBuf = contBuf[:0]
+		for j, other := range states {
+			if j != s && other.busyUntil > t {
+				contBuf = append(contBuf, j)
+			}
+		}
+
+		if st.queryIdx == 0 {
+			// Sequence start: private caches clear like RunSequence; the
+			// shared cache persists — serving is continuous, one session
+			// finishing a sequence must not flush everyone's working set.
+			if cfg.PrivateCaches {
+				caches[s].Clear()
+			}
+		}
+		// Every query starts with a cold head, exactly like the
+		// single-session engine (think time moves the head).
+		disk.resetHead(s)
+
+		tr := QueryTrace{
+			Seq:         st.queryIdx,
+			ResultPages: len(st.pages),
+			Cold:        st.cold,
+			Window:      st.window,
+			GraphBuild:  st.graphBuild,
+			GraphDelta:  st.graphDelta,
+			Prediction:  st.prediction,
+		}
+		missBuf = missBuf[:0]
+		for _, pg := range st.pages {
+			if caches[s].Lookup(pg) {
+				tr.HitPages++
+			} else {
+				missBuf = append(missBuf, pg)
+			}
+		}
+		tr.Residual = disk.readPages(s, missBuf, len(contBuf))
+
+		budget := st.window
+		if !st.predictionHidden {
+			budget -= st.prediction
+		}
+		if !st.last && budget > 0 {
+			grant := arb.Grant(s, contBuf, budget)
+			if grant > 0 {
+				tr.Prefetched, tr.PrefetchIO = commitPlan(caches[s], disk, s, st, grant, len(contBuf))
+			}
+		}
+		arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
+
+		counted := !(cfg.Engine.SkipFirstQuery && st.queryIdx == 0)
+		if counted {
+			ss.cur.HitPages += int64(tr.HitPages)
+			ss.cur.TotalPages += int64(tr.ResultPages)
+			ss.cur.Cold += tr.Cold
+			ss.cur.Residual += tr.Residual
+			ss.cur.GraphBuild += tr.GraphBuild
+			ss.cur.Prediction += tr.Prediction
+			if tr.GraphDelta {
+				ss.cur.DeltaBuilds++
+			}
+			ss.out.Responses = append(ss.out.Responses, tr.Residual)
+		}
+		ss.cur.Queries = append(ss.cur.Queries, tr)
+		res.Queries++
+
+		ss.out.Completed = t + tr.Residual
+		ss.busyUntil = t + tr.Residual + tr.PrefetchIO
+		ss.now = t + tr.Residual + st.window
+		ss.stepIdx++
+		if st.last {
+			ss.out.Sequences = append(ss.out.Sequences, ss.cur)
+			ss.cur = SequenceResult{}
+		}
+	}
+
+	for i, ss := range states {
+		ss.out.Ledger = arb.Ledger(i)
+		res.Sessions = append(res.Sessions, ss.out)
+		if ss.out.Completed > res.Makespan {
+			res.Makespan = ss.out.Completed
+		}
+	}
+	if shared != nil {
+		res.Cache = shared.Stats()
+	} else {
+		for i := range caches {
+			st := caches[i].(*cache.Cache).Stats()
+			res.Cache.Hits += st.Hits
+			res.Cache.Misses += st.Misses
+			res.Cache.Inserted += st.Inserted
+			res.Cache.Evictions += st.Evictions
+		}
+	}
+	res.Disk = disk.stats
+	res.InterferenceSeeks = disk.interferenceSeeks
+	res.Interference = disk.interferenceTime
+	return res
+}
+
+// planSession runs one session's prefetcher over its whole trajectory and
+// precomputes every step. Pure with respect to shared serving state.
+func planSession(store *pagestore.Store, index Index, w SessionWorkload, cost pagestore.CostModel) []step {
+	var steps []step
+	p := w.Prefetcher
+	for si, seq := range w.Sequences {
+		p.Reset()
+		ratio := seq.Params.WindowRatio
+		if ratio <= 0 {
+			ratio = 1
+		}
+		for qi, q := range seq.Queries {
+			pages := index.QueryPages(q.Region, nil)
+			cold := cost.ColdCost(pages)
+			result := queryObjects(store, q.Region, pages)
+			p.Observe(prefetch.Observation{
+				Seq:    qi,
+				Region: q.Region,
+				Center: q.Center,
+				Result: result,
+				Pages:  append([]pagestore.PageID(nil), pages...),
+			})
+			plan := p.Plan()
+			st := step{
+				seqIdx:           si,
+				queryIdx:         qi,
+				last:             qi == len(seq.Queries)-1,
+				pages:            pages,
+				cold:             cold,
+				window:           time.Duration(ratio * float64(cold)),
+				graphBuild:       plan.GraphBuild,
+				prediction:       plan.Prediction,
+				graphDelta:       plan.GraphDelta,
+				predictionHidden: plan.PredictionHidden,
+				traversal:        append([]pagestore.PageID(nil), plan.TraversalPages...),
+			}
+			for _, req := range plan.Requests {
+				b := index.QueryPages(req.Region, nil)
+				pagestore.SortPageIDs(b)
+				st.reqPages = append(st.reqPages, b)
+			}
+			steps = append(steps, st)
+		}
+	}
+	return steps
+}
+
+// commitPlan replays Engine.executePlan against the shared cache and disk:
+// traversal pages in plan order, then each request's pages in ascending
+// physical order, until the granted budget is exhausted (the read that
+// crosses the line still completes — the disk cannot abort a read). It
+// must stay semantically identical to executePlan (engine.go);
+// TestServeIsolatedMatchesSingleSession pins the equivalence.
+func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int) (int, time.Duration) {
+	var spent time.Duration
+	prefetched := 0
+
+	readPage := func(pg pagestore.PageID) bool {
+		if c.Contains(pg) {
+			return true // already cached: free (still in cache)
+		}
+		cost := d.readPage(session, pg, contenders)
+		spent += cost
+		c.Insert(pg)
+		prefetched++
+		return spent <= budget
+	}
+
+	for _, pg := range st.traversal {
+		if !readPage(pg) {
+			return prefetched, spent
+		}
+	}
+	for _, pages := range st.reqPages {
+		for _, pg := range pages {
+			if !readPage(pg) {
+				return prefetched, spent
+			}
+		}
+	}
+	return prefetched, spent
+}

@@ -1,21 +1,23 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
-// paper's evaluation. Each benchmark runs the corresponding experiment and
-// reports the headline metric (hit rate or speedup) as custom benchmark
-// metrics, so `go test -bench=. -benchmem` regenerates the paper's numbers
-// in one pass.
+// paper's evaluation (plus the multi-session mu* family). Each benchmark
+// runs the corresponding experiment and reports the headline metric (hit
+// rate or speedup) as custom benchmark metrics, so
+// `go test -bench=. -benchmem ./internal/experiments` regenerates the
+// paper's numbers in one pass.
 //
 // Benchmarks share one lazily-built environment at a reduced dataset scale
 // (BenchScale) so the full suite finishes in minutes; run
 // `go run ./cmd/scoutbench -exp all` for full-scale tables.
-package main
+//
+// This file is the canonical benchmark set — it subsumes the bench_test.go
+// that used to sit at the repo root as a floating `package main`.
+package experiments
 
 import (
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
-
-	"scout/internal/experiments"
 )
 
 // BenchScale is the dataset scale used by the benchmark suite: 20% of the
@@ -25,20 +27,25 @@ const BenchScale = 0.2
 // BenchSequences caps sequences per measurement to keep bench time sane.
 const BenchSequences = 6
 
+// BenchSessions caps the mu* session sweep for the benchmark suite.
+const BenchSessions = 8
+
 var (
 	benchEnvOnce sync.Once
-	benchEnv     *experiments.Env
+	benchEnv     *Env
 )
 
-func sharedEnv() *experiments.Env {
+func sharedBenchEnv() *Env {
 	benchEnvOnce.Do(func() {
-		benchEnv = experiments.NewEnv(experiments.Options{
+		benchEnv = NewEnv(Options{
 			Scale:     BenchScale,
 			Sequences: BenchSequences,
+			Sessions:  BenchSessions,
 			Seed:      7,
 			// Workers 0 = GOMAXPROCS: the parallel harness produces results
-			// byte-identical to sequential runs (engine.RunEach), so the
-			// reported metrics are unaffected by the worker count.
+			// byte-identical to sequential runs (engine.RunEach and
+			// engine.Serve), so the reported metrics are unaffected by the
+			// worker count.
 			Workers: 0,
 		})
 	})
@@ -47,7 +54,7 @@ func sharedEnv() *experiments.Env {
 
 // reportTable converts an experiment's table into benchmark metrics: the
 // first numeric cell of every row, keyed by row label and column header.
-func reportTable(b *testing.B, res experiments.Result) {
+func reportTable(b *testing.B, res Result) {
 	b.Helper()
 	for _, row := range res.Rows {
 		if len(row) < 2 {
@@ -94,12 +101,12 @@ func parseMetric(s string) (float64, bool) {
 // iteration and reports its table as metrics.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	exp, err := experiments.ByID(id)
+	exp, err := ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	env := sharedEnv()
-	var last experiments.Result
+	env := sharedBenchEnv()
+	var last Result
 	for i := 0; i < b.N; i++ {
 		last = exp.Run(env)
 	}
@@ -122,6 +129,10 @@ func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
 func BenchmarkFig17a(b *testing.B) { benchExperiment(b, "fig17a") }
 func BenchmarkFig17b(b *testing.B) { benchExperiment(b, "fig17b") }
 func BenchmarkMem82(b *testing.B)  { benchExperiment(b, "mem82") }
+
+func BenchmarkMu1(b *testing.B) { benchExperiment(b, "mu1") }
+func BenchmarkMu2(b *testing.B) { benchExperiment(b, "mu2") }
+func BenchmarkMu3(b *testing.B) { benchExperiment(b, "mu3") }
 
 func BenchmarkAblationStrategy(b *testing.B)    { benchExperiment(b, "ablation_strategy") }
 func BenchmarkAblationPruning(b *testing.B)     { benchExperiment(b, "ablation_pruning") }

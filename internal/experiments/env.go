@@ -61,8 +61,16 @@ type Options struct {
 	Seed int64
 	// Workers caps the goroutines used to fan sequences of one measurement
 	// out across cores; 0 means GOMAXPROCS, 1 forces sequential execution.
-	// Results are byte-identical for any value (see engine.RunEach).
+	// Results are byte-identical for any value (see engine.RunEach and
+	// engine.Serve).
 	Workers int
+	// Sessions overrides the mu* experiments' session-count sweep with a
+	// single count when positive (scoutbench -sessions N).
+	Sessions int
+	// Policy overrides the mu* experiments' arbiter policy — "fair",
+	// "demand", "starved" or "none" (scoutbench -policy P). Empty keeps
+	// each experiment's default or ablation set.
+	Policy string
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
@@ -102,17 +110,24 @@ func (o Options) progress(format string, args ...interface{}) {
 }
 
 // Env lazily builds and caches the datasets shared by experiments, so
-// running the full suite generates each dataset once.
+// running the full suite generates each dataset once. It also memoizes the
+// mu* experiments' session plans (see muPlan), which are deterministic in
+// (setup, session count, seed) and shared by mu1/mu2/mu3.
 type Env struct {
 	opt Options
 
-	mu     sync.Mutex
-	setups map[string]*Setup
+	mu      sync.Mutex
+	setups  map[string]*Setup
+	muPlans map[string]muPlanned
 }
 
 // NewEnv creates an experiment environment.
 func NewEnv(opt Options) *Env {
-	return &Env{opt: opt.withDefaults(), setups: make(map[string]*Setup)}
+	return &Env{
+		opt:     opt.withDefaults(),
+		setups:  make(map[string]*Setup),
+		muPlans: make(map[string]muPlanned),
+	}
 }
 
 // Options returns the environment's options.

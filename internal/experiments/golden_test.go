@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the committed golden files:
+//
+//	go test ./internal/experiments -run TestGoldenOutputs -update
+//
+// Review the diff before committing — any change is a behavior change.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden with current experiment output")
+
+// goldenOptions pins the configuration the goldens are generated at: the
+// floor dataset scale (2000 objects) with 2 sequences per measurement, so
+// the whole registry renders in unit-test time. Goldens are about drift
+// detection, not statistical fidelity — any deterministic configuration
+// works, and smaller is better.
+func goldenOptions() Options {
+	return Options{Scale: 0.002, Sequences: 2, Seed: 7}
+}
+
+// TestGoldenOutputs renders every registered experiment — every figure,
+// table, ablation and mu* family — and compares it byte-for-byte against
+// the committed golden under testdata/. Experiment output is fully
+// deterministic (virtual clock, seeded workloads, seeded prefetcher RNG),
+// so ANY diff is a real behavior change: either an intended one (re-run
+// with -update and commit the new goldens alongside the code) or a
+// regression this test just caught.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep skipped in -short mode")
+	}
+	env := NewEnv(goldenOptions())
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			got := e.Run(env).String()
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden for %s (%v) — generate with:\n  go test ./internal/experiments -run TestGoldenOutputs -update", e.ID, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden:\n%s\nregenerate intentionally with -update", e.ID, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			fmt.Fprintf(&b, "line %d:\n  golden: %s\n  got:    %s\n", i+1, wl, gl)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"scout/internal/core"
+	"scout/internal/engine"
+	"scout/internal/workload"
+)
+
+// scoutSessions builds n single-sequence SCOUT sessions over the setup.
+func scoutSessions(s *Setup, n int, seed int64) []engine.SessionWorkload {
+	seqs := s.genSequences(muParams(), n, seed)
+	out := make([]engine.SessionWorkload, n)
+	for i := 0; i < n; i++ {
+		out[i] = engine.SessionWorkload{
+			Sequences:  []workload.Sequence{seqs[i]},
+			Prefetcher: s.scout(core.DefaultConfig()),
+		}
+	}
+	return out
+}
+
+// TestServeIsolatedMatchesSingleSessionScout is the multi-session
+// determinism property on the real workload: with the interference penalty
+// disabled, private caches and the unarbitrated policy, an N-session
+// concurrent serve of SCOUT sessions is byte-identical to N sequential
+// single-session engine runs — across several seeds and session counts.
+func TestServeIsolatedMatchesSingleSessionScout(t *testing.T) {
+	s, _ := parallelEnv(t)
+	for _, seed := range []int64{7, 11, 23} {
+		for _, n := range []int{2, 4, 8} {
+			workloads := scoutSessions(s, n, seed)
+			res := engine.Serve(s.Store, s.Tree, workloads, engine.ServeConfig{
+				Engine:        engine.DefaultConfig(),
+				Policy:        engine.Unarbitrated,
+				PrivateCaches: true,
+				Workers:       4,
+			})
+			seqs := s.genSequences(muParams(), n, seed)
+			for i := 0; i < n; i++ {
+				e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+				want := e.RunSequence(seqs[i], s.scout(core.DefaultConfig()))
+				if len(res.Sessions[i].Sequences) != 1 {
+					t.Fatalf("session %d: %d sequences", i, len(res.Sessions[i].Sequences))
+				}
+				if !reflect.DeepEqual(res.Sessions[i].Sequences[0], want) {
+					t.Errorf("seed %d n %d session %d: serve differs from single-session run", seed, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestServeSharedDeterministicAcrossWorkers pins that the full shared
+// configuration (sharded cache, arbiter, interference) with SCOUT sessions
+// is byte-identical for any plan-phase worker count.
+func TestServeSharedDeterministicAcrossWorkers(t *testing.T) {
+	s, _ := parallelEnv(t)
+	run := func(workers int) engine.ServeResult {
+		return engine.Serve(s.Store, s.Tree, scoutSessions(s, 6, 7), engine.ServeConfig{
+			Engine:           engine.DefaultConfig(),
+			Policy:           engine.FairShare,
+			InterferenceSeek: 500 * time.Microsecond,
+			Workers:          workers,
+		})
+	}
+	a, b, c := run(1), run(4), run(16)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(b, c) {
+		t.Error("shared-cache serve output varies with worker count")
+	}
+}
+
+// TestMuExperimentsDeterministic: the registered mu experiments must render
+// identically when re-run on a fresh environment (the property the golden
+// files and `scoutbench -exp mu2 -sessions 16` rely on).
+func TestMuExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mu determinism sweep skipped in -short mode")
+	}
+	opt := Options{Scale: 0.002, Sequences: 2, Seed: 7, Sessions: 16}
+	for _, id := range []string{"mu1", "mu2", "mu3"} {
+		exp, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := exp.Run(NewEnv(opt)).String()
+		b := exp.Run(NewEnv(opt)).String()
+		if a != b {
+			t.Errorf("%s not deterministic:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
+// TestMuOptionOverrides: -sessions collapses the sweep to one row and
+// -policy collapses mu2's ablation to one column.
+func TestMuOptionOverrides(t *testing.T) {
+	opt := Options{Scale: 0.002, Sequences: 2, Seed: 7, Sessions: 3, Policy: "starved"}
+	env := NewEnv(opt)
+	res := Mu2(env)
+	if len(res.Rows) != 1 {
+		t.Errorf("mu2 rows = %d with -sessions 3, want 1", len(res.Rows))
+	}
+	if len(res.Header) != 2 {
+		t.Errorf("mu2 columns = %d with -policy starved, want 2", len(res.Header))
+	}
+	if res.Rows[0][0] != "3" {
+		t.Errorf("mu2 session count = %q", res.Rows[0][0])
+	}
+}

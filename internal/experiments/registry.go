@@ -46,6 +46,9 @@ func All() []Experiment {
 		{"fig17a", "Figure 17(a)", "Accuracy across datasets, small queries", Fig17a, warmApplicability},
 		{"fig17b", "Figure 17(b)", "Accuracy across datasets, large queries", Fig17b, warmApplicability},
 		{"mem82", "§8.2", "Graph memory relative to result memory", Mem82, warmNeuro},
+		{"mu1", "multi-session", "Aggregate throughput vs session count (shared cache + arbiter)", Mu1, warmNeuro},
+		{"mu2", "multi-session", "Per-session p50/p95 response time vs session count (policy ablation)", Mu2, warmNeuro},
+		{"mu3", "multi-session", "Cache hit rate vs session count: shared vs private caches", Mu3, warmNeuro},
 		{"ablation_strategy", "§5.2", "Deep vs broad prefetching (ablation)", AblationStrategy, warmNeuro},
 		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning, warmNeuro},
 		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans, warmNeuro},

@@ -64,11 +64,24 @@ func (d *Disk) Store() *Store { return d.store }
 // Model returns the disk's cost model.
 func (d *Disk) Model() CostModel { return d.model }
 
+// PageCost prices reading page p with the head at `head` (InvalidPage =
+// unknown position): one Transfer, plus one Seek unless the read is
+// physically sequential. It reports whether a seek was paid. Both the
+// single-session Disk and the multi-session shared disk charge through
+// here, so the two can never drift apart.
+func (m CostModel) PageCost(head, p PageID) (cost time.Duration, seek bool) {
+	cost = m.Transfer
+	if head == InvalidPage || p != head+1 {
+		cost += m.Seek
+		seek = true
+	}
+	return cost, seek
+}
+
 // ReadPage simulates reading one page and returns its cost.
 func (d *Disk) ReadPage(p PageID) time.Duration {
-	cost := d.model.Transfer
-	if d.last == InvalidPage || p != d.last+1 {
-		cost += d.model.Seek
+	cost, seek := d.model.PageCost(d.last, p)
+	if seek {
 		d.stats.Seeks++
 	}
 	d.last = p
@@ -98,6 +111,14 @@ func (d *Disk) ReadPages(pages []PageID) time.Duration {
 // performing the read (no counters or head movement change). It assumes the
 // same ascending-order schedule as ReadPages and an initial seek.
 func (d *Disk) ColdCost(pages []PageID) time.Duration {
+	return d.model.ColdCost(pages)
+}
+
+// ColdCost is Disk.ColdCost as a pure function of the cost model: the
+// simulated cost of reading the pages cold, in ascending physical order with
+// an initial seek. The multi-session serving layer uses it to price queries
+// during its parallel planning phase, where no disk state exists yet.
+func (m CostModel) ColdCost(pages []PageID) time.Duration {
 	if len(pages) == 0 {
 		return 0
 	}
@@ -108,9 +129,9 @@ func (d *Disk) ColdCost(pages []PageID) time.Duration {
 	last := InvalidPage
 	for _, p := range sorted {
 		if last == InvalidPage || p != last+1 {
-			total += d.model.Seek
+			total += m.Seek
 		}
-		total += d.model.Transfer
+		total += m.Transfer
 		last = p
 	}
 	return total
