@@ -1,7 +1,10 @@
 // Command benchdiff compares a fresh scoutbench -benchjson run against the
 // committed BENCH_hotpath.json baseline and fails (exit 1) when any
-// experiment regressed in wall-clock beyond the tolerance. CI runs it so the
-// perf trajectory is enforced, not just recorded.
+// experiment regressed in wall-clock — or in simulated Seeks, for
+// experiments that record them (layout1) — beyond the tolerance. CI runs it
+// so the perf trajectory is enforced, not just recorded. Seek counts come
+// off the virtual clock and are deterministic, so that gate has no noise
+// floor.
 //
 // Wall-clock comparisons across different machines are inherently noisy; the
 // default tolerance (25%) absorbs typical CI-runner variance, and
@@ -76,6 +79,11 @@ func main() {
 			base.Sessions, fresh.Sessions, base.SessionPolicy, fresh.SessionPolicy)
 		os.Exit(2)
 	}
+	if base.Layout != fresh.Layout {
+		fmt.Fprintf(os.Stderr, "benchdiff: layout mismatch (%q vs %q) — comparison void\n",
+			base.Layout, fresh.Layout)
+		os.Exit(2)
+	}
 
 	byID := map[string]benchfmt.Record{}
 	for _, r := range base.Experiments {
@@ -106,6 +114,24 @@ func main() {
 				failed = true
 			}
 		}
+		// Seeks are simulated on the virtual clock — fully deterministic,
+		// so the same tolerance applies with no noise floor: any experiment
+		// recording seeks in the baseline must keep recording them (a
+		// fresh run that silently drops the metric would otherwise disarm
+		// the gate) and must not regress past the tolerance.
+		if br.Seeks > 0 {
+			if fr.Seeks == 0 {
+				marker += fmt.Sprintf("  seeks %d -> MISSING", br.Seeks)
+				failed = true
+			} else {
+				seekDelta := float64(fr.Seeks)/float64(br.Seeks) - 1
+				marker += fmt.Sprintf("  seeks %d -> %d (%+.1f%%)", br.Seeks, fr.Seeks, seekDelta*100)
+				if seekDelta > *maxRegress {
+					marker += "  SEEK REGRESSION"
+					failed = true
+				}
+			}
+		}
 		fmt.Printf("%-26s %12.1f %12.1f %+8.1f%%%s\n", fr.ID, br.WallMS, fr.WallMS, delta*100, marker)
 	}
 	for id := range byID {
@@ -113,7 +139,7 @@ func main() {
 	}
 
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock regression beyond %.0f%% — investigate or refresh the baseline\n", *maxRegress*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock or Seeks regression beyond %.0f%% — investigate or refresh the baseline\n", *maxRegress*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK (tolerance %.0f%%)\n", *maxRegress*100)

@@ -33,6 +33,7 @@ import (
 	"scout/internal/benchfmt"
 	"scout/internal/engine"
 	"scout/internal/experiments"
+	"scout/internal/pagestore"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "sequence-level worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		sessions   = flag.Int("sessions", 0, "override the mu* experiments' session-count sweep with one count (0 = sweep 1..64)")
 		policy     = flag.String("policy", "", "override the mu* arbiter policy: fair, demand, starved or none (empty = per-experiment default/ablation)")
+		layout     = flag.String("layout", "", "physical page layout: insertion, hilbert or str (empty/insertion = the seed's order and per-page I/O; other layouts also enable batched elevator reads)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -60,14 +62,24 @@ func main() {
 		return
 	}
 
+	// Unknown -policy/-layout values are usage errors, never silent
+	// fallbacks: a typo must not quietly measure the default configuration.
 	if *policy != "" {
 		if _, err := engine.ParsePolicy(*policy); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -policy takes one of: %s\n",
+				err, strings.Join(policyNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *layout != "" {
+		if _, err := pagestore.ParseLayout(*layout); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -layout takes one of: %s\n",
+				err, strings.Join(pagestore.LayoutNames(), ", "))
 			os.Exit(2)
 		}
 	}
 	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers,
-		Sessions: *sessions, Policy: *policy}
+		Sessions: *sessions, Policy: *policy, Layout: *layout}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -152,6 +164,12 @@ func main() {
 		out.Sessions = *sessions
 		out.SessionPolicy = *policy
 	}
+	// "insertion" IS the default configuration: normalize it to the empty
+	// string so benchdiff never voids a comparison between two identical
+	// setups spelled differently.
+	if *layout != "insertion" {
+		out.Layout = *layout
+	}
 	// total accumulates only the (parallel) experiment runs, excluding the
 	// -compare sequential re-runs, so the JSON trajectory metric tracks the
 	// harness's own wall-clock across commits.
@@ -163,7 +181,7 @@ func main() {
 		total += wall
 		fmt.Println(res.String())
 
-		rec := benchfmt.Record{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000}
+		rec := benchfmt.Record{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000, Seeks: res.Seeks}
 		if *compare {
 			seqStart := time.Now()
 			seqRes := e.Run(seqEnv)
@@ -221,4 +239,12 @@ func effectiveWorkers(w int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return w
+}
+
+func policyNames() []string {
+	var names []string
+	for _, p := range engine.Policies() {
+		names = append(names, p.String())
+	}
+	return names
 }

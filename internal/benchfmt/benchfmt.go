@@ -9,6 +9,10 @@ type Record struct {
 	ID string `json:"id"`
 	// WallMS is the wall-clock of the (parallel) run in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+	// Seeks is the experiment's total simulated seek count, when it
+	// measures I/O (layout1); zero otherwise. Unlike wall time it is
+	// deterministic, so benchdiff gates regressions on it exactly.
+	Seeks int64 `json:"seeks,omitempty"`
 	// SequentialWallMS is filled only with -compare.
 	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
 	// Speedup is SequentialWallMS / WallMS (with -compare).
@@ -26,6 +30,10 @@ type File struct {
 	// part of the configuration benchdiff refuses to compare across.
 	Sessions      int      `json:"sessions,omitempty"`
 	SessionPolicy string   `json:"session_policy,omitempty"`
+	// Layout records the -layout override (empty = insertion, the seed's
+	// physical order and per-page I/O path). Part of the configuration
+	// benchdiff refuses to compare across.
+	Layout string `json:"layout,omitempty"`
 	GOMAXPROCS    int      `json:"gomaxprocs"`
 	TotalWallMS   float64  `json:"total_wall_ms"`
 	Experiments   []Record `json:"experiments"`

@@ -37,6 +37,15 @@ type Config struct {
 	// SkipFirstQuery excludes each sequence's first query from hit-rate
 	// accounting: no prediction can exist for it, for any prefetcher.
 	SkipFirstQuery bool
+	// BatchedIO routes disk reads through the batched elevator path:
+	// residual misses go through Disk.ReadBatch, and the prefetch window
+	// flushes each query's whole prediction set as one physically sorted
+	// batch with the budget applied to runs, not pages (a half-fetched run
+	// wastes its seek). False keeps the seed's per-page loop, whose goldens
+	// are pinned byte-for-byte. Non-insertion physical layouts should set
+	// it: per-page logical-order scheduling on a permuted layout pays a
+	// seek per page.
+	BatchedIO bool
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -112,6 +121,9 @@ type Engine struct {
 	disk  *pagestore.Disk
 	cache *cache.Cache
 	cfg   Config
+	// batchBuf is the batched prefetch flush's reusable prediction-set
+	// scratch (BatchedIO mode only).
+	batchBuf []pagestore.PageID
 }
 
 // New creates an engine. The store must be paginated (bulk-loaded).
@@ -178,7 +190,11 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 				missBuf = append(missBuf, pg)
 			}
 		}
-		tr.Residual = e.disk.ReadPages(missBuf)
+		if e.cfg.BatchedIO {
+			tr.Residual = e.disk.ReadBatch(missBuf)
+		} else {
+			tr.Residual = e.disk.ReadPages(missBuf)
+		}
 
 		// 2. The prefetcher observes the completed query (content included:
 		// SCOUT needs it, baselines ignore it).
@@ -236,6 +252,9 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 // identical — TestServeIsolatedMatchesSingleSession pins the equivalence
 // byte-for-byte.
 func (e *Engine) executePlan(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
+	if e.cfg.BatchedIO {
+		return e.executePlanBatched(plan, budget)
+	}
 	var spent time.Duration
 	prefetched := 0
 
@@ -277,6 +296,40 @@ func (e *Engine) executePlan(plan prefetch.Plan, budget time.Duration) (int, tim
 			}
 		}
 	}
+	return prefetched, spent
+}
+
+// executePlanBatched is the BatchedIO flush: the plan's whole prediction
+// set — traversal pages plus every request's pages — accumulates into one
+// batch, cached pages drop out, and the rest is read in a single elevator
+// sweep (ascending physical order, one seek per physically contiguous
+// run). The budget applies to runs, not pages: a run that crosses the line
+// still completes (a half-fetched run would waste its seek), and no
+// further run starts. The sweep trades the incremental ladder's priority
+// order for physical locality; layout1 measures that trade.
+func (e *Engine) executePlanBatched(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
+	buf := e.batchBuf[:0]
+	buf = append(buf, plan.TraversalPages...)
+	var req []pagestore.PageID
+	for _, r := range plan.Requests {
+		req = e.index.QueryPages(r.Region, req[:0])
+		buf = append(buf, req...)
+	}
+	buf = assembleBatch(e.store, e.cache, buf)
+	e.batchBuf = buf
+
+	var spent time.Duration
+	prefetched := 0
+	e.store.Runs(buf, e.disk.Model().MaxBridge(), func(run []pagestore.PageID) bool {
+		// One elevator run per read: internal gaps are bridged, the
+		// boundary to the previous run seeks (it is > MaxBridge away).
+		spent += e.disk.ReadSorted(run)
+		for _, pg := range run {
+			e.cache.Insert(pg)
+			prefetched++
+		}
+		return spent <= budget
+	})
 	return prefetched, spent
 }
 

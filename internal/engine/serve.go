@@ -189,10 +189,40 @@ type pageCache interface {
 	Clear()
 }
 
+// assembleBatch turns an accumulated prediction set into one elevator
+// batch: cached pages drop out, the rest sorts into ascending physical
+// order, and duplicates (overlapping ladder rungs), made adjacent by the
+// sort, collapse so each page is read once. All in place. Shared by
+// executePlanBatched and commitPlanBatched so the single- and
+// multi-session flush paths cannot drift
+// (TestServeBatchedIsolatedMatchesSingleSession pins the equivalence).
+func assembleBatch(store *pagestore.Store, c pageCache, buf []pagestore.PageID) []pagestore.PageID {
+	k := 0
+	for _, pg := range buf {
+		if !c.Contains(pg) {
+			buf[k] = pg
+			k++
+		}
+	}
+	buf = buf[:k]
+	store.ElevatorSort(buf)
+	k = 0
+	for i, pg := range buf {
+		if i == 0 || pg != buf[i-1] {
+			buf[k] = pg
+			k++
+		}
+	}
+	return buf[:k]
+}
+
 // sharedDisk prices reads on the shared disk: one cost model, one stats
 // ledger, but a physical head position per session, plus the global
-// seek-interference penalty.
+// seek-interference penalty. Heads live in PHYSICAL address space; the
+// store's layout table translates the logical PageIDs sessions request
+// (identity unless Relayout installed another layout).
 type sharedDisk struct {
+	store             *pagestore.Store
 	model             pagestore.CostModel
 	interference      time.Duration
 	heads             []pagestore.PageID
@@ -202,12 +232,12 @@ type sharedDisk struct {
 	sortBuf           []pagestore.PageID
 }
 
-func newSharedDisk(model pagestore.CostModel, interference time.Duration, sessions int) *sharedDisk {
+func newSharedDisk(store *pagestore.Store, model pagestore.CostModel, interference time.Duration, sessions int) *sharedDisk {
 	heads := make([]pagestore.PageID, sessions)
 	for i := range heads {
 		heads[i] = pagestore.InvalidPage
 	}
-	return &sharedDisk{model: model, interference: interference, heads: heads}
+	return &sharedDisk{store: store, model: model, interference: interference, heads: heads}
 }
 
 func (d *sharedDisk) resetHead(session int) { d.heads[session] = pagestore.InvalidPage }
@@ -218,7 +248,8 @@ func (d *sharedDisk) resetHead(session int) { d.heads[session] = pagestore.Inval
 // zero penalty) it is exactly the single-session charge, the equivalence
 // TestServeIsolatedMatchesSingleSession pins.
 func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) time.Duration {
-	cost, seek := d.model.PageCost(d.heads[session], p)
+	phys := d.store.PhysicalPage(p)
+	cost, seek := d.model.PageCost(d.heads[session], phys)
 	if seek {
 		d.stats.Seeks++
 		if contenders > 0 && d.interference > 0 {
@@ -228,14 +259,15 @@ func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) t
 			d.interferenceTime += penalty
 		}
 	}
-	d.heads[session] = p
+	d.heads[session] = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
 	return cost
 }
 
-// readPages reads a page set in ascending physical order, like
-// Disk.ReadPages.
+// readPages reads a page set in ascending logical order, like
+// Disk.ReadPages — the seed's per-page path, kept for the non-batched
+// configuration's byte-identical goldens.
 func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders int) time.Duration {
 	if len(pages) == 0 {
 		return 0
@@ -247,6 +279,42 @@ func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders
 		total += d.readPage(session, p, contenders)
 	}
 	return total
+}
+
+// readBatch reads a page set in one elevator sweep — ascending PHYSICAL
+// order with gap bridging, like Disk.ReadBatch — on the session's head,
+// with the interference penalty applied per seek.
+func (d *sharedDisk) readBatch(session int, pages []pagestore.PageID, contenders int) time.Duration {
+	if len(pages) == 0 {
+		return 0
+	}
+	d.sortBuf = append(d.sortBuf[:0], pages...)
+	d.store.ElevatorSort(d.sortBuf)
+	return d.readSweep(session, d.sortBuf, contenders)
+}
+
+// readSweep charges one elevator sweep over an already physically sorted
+// page list on the session's head: priced by CostModel.SweepCost exactly
+// like Disk.ReadSorted, plus the per-seek interference penalty.
+func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contenders int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	seeks, bridged, last := d.model.SweepCost(d.store, sorted, d.heads[session])
+	d.heads[session] = last
+	cost := time.Duration(seeks)*d.model.Seek +
+		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
+	if contenders > 0 && d.interference > 0 && seeks > 0 {
+		penalty := time.Duration(seeks) * time.Duration(contenders) * d.interference
+		cost += penalty
+		d.interferenceSeeks += seeks
+		d.interferenceTime += penalty
+	}
+	d.stats.Seeks += seeks
+	d.stats.PagesRead += int64(len(sorted))
+	d.stats.BridgedPages += bridged
+	d.stats.SimulatedIO += cost
+	return cost
 }
 
 // cacheCapacity sizes the prefetch cache; Engine.New and the serving
@@ -371,7 +439,7 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			caches[i] = shared
 		}
 	}
-	disk := newSharedDisk(cfg.Engine.Cost, cfg.InterferenceSeek, n)
+	disk := newSharedDisk(store, cfg.Engine.Cost, cfg.InterferenceSeek, n)
 	arb := NewArbiter(cfg.Policy, n)
 
 	type sessState struct {
@@ -389,6 +457,7 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	res := ServeResult{}
 	var missBuf []pagestore.PageID
 	var contBuf []int
+	var batchBuf []pagestore.PageID
 	for {
 		// Next event: the unfinished session with the smallest clock,
 		// lowest ID breaking ties.
@@ -446,7 +515,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				missBuf = append(missBuf, pg)
 			}
 		}
-		tr.Residual = disk.readPages(s, missBuf, len(contBuf))
+		if cfg.Engine.BatchedIO {
+			tr.Residual = disk.readBatch(s, missBuf, len(contBuf))
+		} else {
+			tr.Residual = disk.readPages(s, missBuf, len(contBuf))
+		}
 
 		budget := st.window
 		if !st.predictionHidden {
@@ -455,7 +528,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		if !st.last && budget > 0 {
 			grant := arb.Grant(s, contBuf, budget)
 			if grant > 0 {
-				tr.Prefetched, tr.PrefetchIO = commitPlan(caches[s], disk, s, st, grant, len(contBuf))
+				if cfg.Engine.BatchedIO {
+					tr.Prefetched, tr.PrefetchIO = commitPlanBatched(caches[s], disk, s, st, grant, len(contBuf), &batchBuf)
+				} else {
+					tr.Prefetched, tr.PrefetchIO = commitPlan(caches[s], disk, s, st, grant, len(contBuf))
+				}
 			}
 		}
 		arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
@@ -523,7 +600,7 @@ func planSession(store *pagestore.Store, index Index, w SessionWorkload, cost pa
 		}
 		for qi, q := range seq.Queries {
 			pages := index.QueryPages(q.Region, nil)
-			cold := cost.ColdCost(pages)
+			cold := cost.ColdCostOn(store, pages)
 			result := queryObjects(store, q.Region, pages)
 			p.Observe(prefetch.Observation{
 				Seq:    qi,
@@ -590,5 +667,34 @@ func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Du
 			}
 		}
 	}
+	return prefetched, spent
+}
+
+// commitPlanBatched replays Engine.executePlanBatched against the shared
+// cache and disk: one elevator batch per session turn — the step's whole
+// prediction set, minus cached pages, swept in ascending physical order
+// with the arbiter's grant applied to runs, not pages (the run that
+// crosses the line completes; no further run starts). Issuing one batch
+// per turn also shrinks the window in which other sessions' in-flight I/O
+// counts as seek interference. buf is the caller's reusable scratch.
+func commitPlanBatched(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int, buf *[]pagestore.PageID) (int, time.Duration) {
+	batch := (*buf)[:0]
+	batch = append(batch, st.traversal...)
+	for _, pages := range st.reqPages {
+		batch = append(batch, pages...)
+	}
+	batch = assembleBatch(d.store, c, batch)
+	*buf = batch
+
+	var spent time.Duration
+	prefetched := 0
+	d.store.Runs(batch, d.model.MaxBridge(), func(run []pagestore.PageID) bool {
+		spent += d.readSweep(session, run, contenders)
+		for _, pg := range run {
+			c.Insert(pg)
+			prefetched++
+		}
+		return spent <= budget
+	})
 	return prefetched, spent
 }

@@ -30,6 +30,9 @@ type Setup struct {
 	// workers is the experiment harness's per-measurement parallelism,
 	// copied from Options by Env.setup (0 = GOMAXPROCS).
 	workers int
+	// cfg is the engine configuration runs use, copied from Options by
+	// Env.setup (zero value = engine defaults, per-page I/O).
+	cfg engine.Config
 }
 
 // BuildSetup indexes a generated dataset.
@@ -71,6 +74,15 @@ type Options struct {
 	// "demand", "starved" or "none" (scoutbench -policy P). Empty keeps
 	// each experiment's default or ablation set.
 	Policy string
+	// Layout selects the physical page layout every dataset is stored
+	// under — "insertion", "hilbert" or "str" (scoutbench -layout L).
+	// Empty means insertion: the seed's physical order and per-page I/O
+	// path, byte-identical to the committed goldens. Non-insertion
+	// layouts also route engines through the batched elevator I/O path
+	// (engine.Config.BatchedIO) — per-page logical-order scheduling on a
+	// permuted layout would pay a seek per page. layout1 sweeps layouts
+	// itself and restores this global choice afterwards.
+	Layout string
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
@@ -109,6 +121,20 @@ func (o Options) progress(format string, args ...interface{}) {
 	}
 }
 
+// batchedIO reports whether the options imply the batched elevator I/O
+// path: any explicitly non-insertion layout.
+func (o Options) batchedIO() bool {
+	return o.Layout != "" && o.Layout != "insertion"
+}
+
+// engineConfig is the engine configuration the options imply: the paper's
+// defaults, with BatchedIO following the selected layout.
+func (o Options) engineConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.BatchedIO = o.batchedIO()
+	return cfg
+}
+
 // Env lazily builds and caches the datasets shared by experiments, so
 // running the full suite generates each dataset once. It also memoizes the
 // mu* experiments' session plans (see muPlan), which are deterministic in
@@ -145,7 +171,17 @@ func (e *Env) setup(key string, gen func() *dataset.Dataset) *Setup {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building %s: %v", key, err))
 	}
+	if e.opt.Layout != "" {
+		l, err := pagestore.ParseLayout(e.opt.Layout)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		if err := s.Store.Relayout(l); err != nil {
+			panic(fmt.Sprintf("experiments: relayout %s: %v", key, err))
+		}
+	}
 	s.workers = e.opt.Workers
+	s.cfg = e.opt.engineConfig()
 	e.setups[key] = s
 	return s
 }
@@ -248,14 +284,23 @@ func (s *Setup) scoutOpt(cfg core.Config) *core.ScoutOpt {
 // one per worker; wrappers that accumulate state across sequences (the
 // analysis collectors) fall back to sequential execution inside RunEach.
 func (s *Setup) runOne(seqs []workload.Sequence, p prefetch.Prefetcher) engine.Aggregate {
-	e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+	e := engine.New(s.Store, s.Tree, s.engineConfig())
 	return e.RunAllParallel(seqs, p, s.workers)
 }
 
 // runEach is runOne keeping the per-sequence results (in sequence order).
 func (s *Setup) runEach(seqs []workload.Sequence, p prefetch.Prefetcher) []engine.SequenceResult {
-	e := engine.New(s.Store, s.Tree, engine.DefaultConfig())
+	e := engine.New(s.Store, s.Tree, s.engineConfig())
 	return e.RunEach(seqs, p, s.workers)
+}
+
+// engineConfig is the setup's engine configuration (engine defaults for
+// setups built outside an Env, e.g. by cmd/scoutgen).
+func (s *Setup) engineConfig() engine.Config {
+	if s.cfg == (engine.Config{}) {
+		return engine.DefaultConfig()
+	}
+	return s.cfg
 }
 
 // genSequences builds the workload for this setup.

@@ -96,10 +96,12 @@ func muPlan(env *Env, s *Setup, n int) ([]engine.SessionWorkload, *engine.Sessio
 	return p.w, p.plans
 }
 
-// muConfig is the commit-phase configuration of one measurement.
-func muConfig(policy engine.Policy, private bool, interference time.Duration) engine.ServeConfig {
+// muConfig is the commit-phase configuration of one measurement. base is
+// the engine configuration the options imply (Options.engineConfig), so
+// -layout's batched elevator path reaches the multi-session commit phase.
+func muConfig(base engine.Config, policy engine.Policy, private bool, interference time.Duration) engine.ServeConfig {
 	return engine.ServeConfig{
-		Engine:           engine.DefaultConfig(),
+		Engine:           base,
 		Policy:           policy,
 		PrivateCaches:    private,
 		InterferenceSeek: interference,
@@ -127,7 +129,7 @@ func Mu1(env *Env) Result {
 	var base float64
 	for _, n := range opt.muSessionCounts() {
 		w, plans := muPlan(env, s, n)
-		sr := plans.Serve(muConfig(policy, false, muInterference))
+		sr := plans.Serve(muConfig(opt.engineConfig(), policy, false, muInterference))
 		tp := sr.Throughput()
 		// Scaling is defined against a measured single-session baseline;
 		// with -sessions pinning the sweep away from 1 there is none.
@@ -182,7 +184,7 @@ func Mu2(env *Env) Result {
 		row := []string{fmt.Sprintf("%d", n)}
 		_, plans := muPlan(env, s, n)
 		for _, policy := range policies {
-			sr := plans.Serve(muConfig(policy, false, muInterference))
+			sr := plans.Serve(muConfig(opt.engineConfig(), policy, false, muInterference))
 			samples := sr.Responses()
 			row = append(row, fmt.Sprintf("%s/%s",
 				ms(engine.Percentile(samples, 50)), ms(engine.Percentile(samples, 95))))
@@ -211,8 +213,8 @@ func Mu3(env *Env) Result {
 	}
 	for _, n := range opt.muSessionCounts() {
 		_, plans := muPlan(env, s, n)
-		shared := plans.Serve(muConfig(policy, false, muInterference))
-		private := plans.Serve(muConfig(policy, true, muInterference))
+		shared := plans.Serve(muConfig(opt.engineConfig(), policy, false, muInterference))
+		private := plans.Serve(muConfig(opt.engineConfig(), policy, true, muInterference))
 		res.AddRow(fmt.Sprintf("%d", n),
 			pct(shared.HitRate()),
 			pct(private.HitRate()),

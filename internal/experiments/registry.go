@@ -26,6 +26,12 @@ func warmApplicability(e *Env) {
 	e.Road()
 }
 
+func warmLayout(e *Env) {
+	e.Neuro()
+	e.Artery()
+	e.Road()
+}
+
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
@@ -46,6 +52,7 @@ func All() []Experiment {
 		{"fig17a", "Figure 17(a)", "Accuracy across datasets, small queries", Fig17a, warmApplicability},
 		{"fig17b", "Figure 17(b)", "Accuracy across datasets, large queries", Fig17b, warmApplicability},
 		{"mem82", "§8.2", "Graph memory relative to result memory", Mem82, warmNeuro},
+		{"layout1", "layout", "Seeks and simulated I/O by physical page layout (layout × workload sweep)", Layout1, warmLayout},
 		{"mu1", "multi-session", "Aggregate throughput vs session count (shared cache + arbiter)", Mu1, warmNeuro},
 		{"mu2", "multi-session", "Per-session p50/p95 response time vs session count (policy ablation)", Mu2, warmNeuro},
 		{"mu3", "multi-session", "Cache hit rate vs session count: shared vs private caches", Mu3, warmNeuro},

@@ -15,6 +15,12 @@ type Result struct {
 	Rows   [][]string
 	// Notes document modeling caveats that affect interpretation.
 	Notes []string
+	// Seeks is the experiment's total simulated seek count when it
+	// measures I/O (layout1), zero otherwise. It is not rendered —
+	// scoutbench stamps it into benchfmt records so benchdiff can gate
+	// seek regressions deterministically (the virtual clock never jitters
+	// like wall time does).
+	Seeks int64
 }
 
 // AddRow appends a formatted row.

@@ -35,6 +35,11 @@ type DiskStats struct {
 	PagesRead   int64 // pages fetched from (simulated) disk
 	Seeks       int64 // discontinuities paid for
 	SimulatedIO time.Duration
+	// BridgedPages counts pages the batched elevator read through and
+	// discarded to avoid a seek (ReadBatch only; the per-page path never
+	// bridges). Their transfer time is in SimulatedIO but they are not
+	// delivered, so they do not count as PagesRead.
+	BridgedPages int64
 }
 
 // Disk mediates page reads against a Store, charging the cost model and
@@ -45,9 +50,14 @@ type Disk struct {
 	store *Store
 	model CostModel
 	stats DiskStats
-	// last is the physical page most recently read, or InvalidPage after
-	// ResetHead. Reading page last+1 is sequential and skips the seek.
+	// last is the PHYSICAL address most recently read, or InvalidPage after
+	// ResetHead. Reading physical address last+1 is sequential and skips
+	// the seek. With the identity layout physical == logical.
 	last PageID
+	// batchBuf is ReadBatch's reusable elevator-schedule scratch; coldBuf
+	// is ColdCost's reusable physical-translation scratch.
+	batchBuf []PageID
+	coldBuf  []PageID
 }
 
 // NewDisk creates a Disk over the given paginated store.
@@ -78,13 +88,28 @@ func (m CostModel) PageCost(head, p PageID) (cost time.Duration, seek bool) {
 	return cost, seek
 }
 
-// ReadPage simulates reading one page and returns its cost.
+// MaxBridge returns the largest forward physical gap (in pages) the
+// batched elevator reads through instead of seeking over: bridging g
+// pages costs g·Transfer, seeking costs Seek, so any gap with
+// g·Transfer < Seek is cheaper to stream past (~124 pages under the
+// default model). The per-page path never bridges.
+func (m CostModel) MaxBridge() PageID {
+	if m.Transfer <= 0 || m.Seek <= 0 {
+		return 0
+	}
+	return PageID((m.Seek - 1) / m.Transfer)
+}
+
+// ReadPage simulates reading one (logical) page and returns its cost. The
+// head moves in physical space: seeks are charged on physical, not logical,
+// discontinuities.
 func (d *Disk) ReadPage(p PageID) time.Duration {
-	cost, seek := d.model.PageCost(d.last, p)
+	phys := d.store.PhysicalPage(p)
+	cost, seek := d.model.PageCost(d.last, phys)
 	if seek {
 		d.stats.Seeks++
 	}
-	d.last = p
+	d.last = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
 	return cost
@@ -107,11 +132,95 @@ func (d *Disk) ReadPages(pages []PageID) time.Duration {
 	return total
 }
 
+// SweepCost prices one elevator sweep over pages already sorted in
+// ascending physical order, starting from head position `last` (physical
+// address; InvalidPage = unknown). A sweep merges pages into runs — a run
+// extends through exact adjacency AND through forward gaps of up to
+// MaxBridge pages, which the arm streams past because that is cheaper
+// than the seek it replaces. It returns the seeks paid, the pages bridged
+// and the final head position; the sweep's time is
+// seeks·Seek + (len(sorted)+bridged)·Transfer. Duplicates cost one
+// transfer each (the head is already on the page). Disk.ReadSorted and
+// the multi-session shared disk both price through here, so the two
+// elevators can never drift apart. The input must not be empty.
+func (m CostModel) SweepCost(s *Store, sorted []PageID, last PageID) (seeks, bridged int64, newLast PageID) {
+	maxBridge := m.MaxBridge()
+	i := 0
+	if last == InvalidPage {
+		// Unknown head: the first read always seeks. Hoisting this case
+		// keeps the loop's run-extension check branch-free (InvalidPage + 1
+		// wraps to 0 and must not match physical page 0).
+		seeks = 1
+		last = s.PhysicalPage(sorted[0])
+		i = 1
+	}
+	for ; i < len(sorted); i++ {
+		phys := s.PhysicalPage(sorted[i])
+		// delta==0: duplicate, head already on the page. delta==1: exact
+		// run extension. 1<delta<=maxBridge+1: bridge the gap. Otherwise
+		// seek — including backward moves, whose delta wraps the uint32
+		// range and lands far above any bridge window. The seek increment
+		// is a compare+set, not a branch, so run boundaries never
+		// mispredict; bridging gaps are rarer and may branch.
+		delta := phys - last
+		farther := int64(1)
+		if delta <= maxBridge+1 {
+			farther = 0
+		}
+		seeks += farther
+		if farther == 0 && delta > 1 {
+			bridged += int64(delta - 1)
+		}
+		last = phys
+	}
+	return seeks, bridged, last
+}
+
+// ReadSorted simulates one elevator sweep over pages already in ascending
+// physical order — e.g. a single run from Store.Runs — without copying or
+// re-sorting, and returns its cost. See SweepCost for the run-merging and
+// gap-bridging rules.
+func (d *Disk) ReadSorted(sorted []PageID) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	seeks, bridged, last := d.model.SweepCost(d.store, sorted, d.last)
+	d.last = last
+	cost := time.Duration(seeks)*d.model.Seek +
+		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
+	d.stats.Seeks += seeks
+	d.stats.PagesRead += int64(len(sorted))
+	d.stats.BridgedPages += bridged
+	d.stats.SimulatedIO += cost
+	return cost
+}
+
+// ReadBatch simulates one elevator sweep over an arbitrary batch: the
+// pages are sorted by physical address (the input slice is not modified)
+// and read via ReadSorted.
+func (d *Disk) ReadBatch(pages []PageID) time.Duration {
+	if len(pages) == 0 {
+		return 0
+	}
+	d.batchBuf = append(d.batchBuf[:0], pages...)
+	d.store.ElevatorSort(d.batchBuf)
+	return d.ReadSorted(d.batchBuf)
+}
+
 // ColdCost returns the simulated cost of reading the pages from disk without
 // performing the read (no counters or head movement change). It assumes the
-// same ascending-order schedule as ReadPages and an initial seek.
+// same ascending-physical-order schedule as ReadPages/ReadBatch and an
+// initial seek. Unlike the stateless ColdCostOn, a permuted layout's
+// translation reuses the disk's scratch buffer (this runs once per query).
 func (d *Disk) ColdCost(pages []PageID) time.Duration {
-	return d.model.ColdCost(pages)
+	if d.store.physOf == nil {
+		return d.model.ColdCost(pages)
+	}
+	d.coldBuf = d.coldBuf[:0]
+	for _, p := range pages {
+		d.coldBuf = append(d.coldBuf, d.store.physOf[p])
+	}
+	return d.model.coldCostInPlace(d.coldBuf)
 }
 
 // ColdCost is Disk.ColdCost as a pure function of the cost model: the
@@ -124,10 +233,16 @@ func (m CostModel) ColdCost(pages []PageID) time.Duration {
 	}
 	sorted := make([]PageID, len(pages))
 	copy(sorted, pages)
-	sortPageIDs(sorted)
+	return m.coldCostInPlace(sorted)
+}
+
+// coldCostInPlace is ColdCost over a scratch slice of physical addresses
+// the caller owns: sorts it in place and charges the cold schedule.
+func (m CostModel) coldCostInPlace(phys []PageID) time.Duration {
+	sortPageIDs(phys)
 	total := time.Duration(0)
 	last := InvalidPage
-	for _, p := range sorted {
+	for _, p := range phys {
 		if last == InvalidPage || p != last+1 {
 			total += m.Seek
 		}
@@ -135,6 +250,21 @@ func (m CostModel) ColdCost(pages []PageID) time.Duration {
 		last = p
 	}
 	return total
+}
+
+// ColdCostOn is ColdCost with the store's logical→physical translation
+// applied: the cost of one cold elevator sweep over the pages' physical
+// addresses. With the identity layout it is exactly ColdCost. Stateless —
+// Disk.ColdCost is the scratch-reusing variant for per-query hot paths.
+func (m CostModel) ColdCostOn(s *Store, pages []PageID) time.Duration {
+	if s.physOf == nil {
+		return m.ColdCost(pages)
+	}
+	phys := make([]PageID, len(pages))
+	for i, p := range pages {
+		phys[i] = s.physOf[p]
+	}
+	return m.coldCostInPlace(phys)
 }
 
 // ResetHead forgets the physical head position, e.g. after the engine clears

@@ -1,0 +1,287 @@
+package pagestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// paginatedStore builds a store of n random objects paginated in identity
+// order with perPage objects per page.
+func paginatedStore(t testing.TB, n, perPage int) *Store {
+	t.Helper()
+	s := NewStore(makeObjects(n))
+	if err := s.Paginate(identityOrder(n), perPage); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLayoutPermutationProperty: every layout returns a bijection over the
+// store's pages, deterministically, across randomized store sizes.
+func TestLayoutPermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	layouts := []Layout{InsertionLayout(), HilbertLayout(), STRLayout()}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(2000)
+		perPage := 1 + rng.Intn(32)
+		s := paginatedStore(t, n, perPage)
+		for _, l := range layouts {
+			perm := l.Permutation(s)
+			if len(perm) != s.NumPages() {
+				t.Fatalf("%s: %d slots for %d pages", l.Name(), len(perm), s.NumPages())
+			}
+			seen := make([]bool, len(perm))
+			for logical, phys := range perm {
+				if int(phys) >= len(perm) || seen[phys] {
+					t.Fatalf("%s: not a bijection at logical %d -> %d", l.Name(), logical, phys)
+				}
+				seen[phys] = true
+			}
+			again := l.Permutation(s)
+			for i := range perm {
+				if perm[i] != again[i] {
+					t.Fatalf("%s: non-deterministic permutation at %d", l.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestRelayoutValidatesAndRestores(t *testing.T) {
+	s := paginatedStore(t, 500, 8)
+	if s.LayoutName() != "insertion" {
+		t.Fatalf("fresh store layout = %q", s.LayoutName())
+	}
+	if err := s.Relayout(HilbertLayout()); err != nil {
+		t.Fatal(err)
+	}
+	if s.LayoutName() != "hilbert" {
+		t.Fatalf("layout = %q after hilbert relayout", s.LayoutName())
+	}
+	moved := false
+	for p := 0; p < s.NumPages(); p++ {
+		if s.PhysicalPage(PageID(p)) != PageID(p) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("hilbert relayout left every page in place")
+	}
+	if err := s.Relayout(InsertionLayout()); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < s.NumPages(); p++ {
+		if s.PhysicalPage(PageID(p)) != PageID(p) {
+			t.Fatalf("insertion relayout: page %d at physical %d", p, s.PhysicalPage(PageID(p)))
+		}
+	}
+	if s.LayoutName() != "insertion" {
+		t.Fatalf("layout = %q after restore", s.LayoutName())
+	}
+}
+
+type badLayout struct{}
+
+func (badLayout) Name() string { return "bad" }
+func (badLayout) Permutation(s *Store) []PageID {
+	perm := make([]PageID, s.NumPages())
+	return perm // every page at slot 0: not a bijection
+}
+
+func TestRelayoutRejectsNonPermutation(t *testing.T) {
+	s := paginatedStore(t, 300, 8)
+	if err := s.Relayout(badLayout{}); err == nil {
+		t.Fatal("non-bijective layout accepted")
+	}
+	if s.LayoutName() != "insertion" {
+		t.Fatalf("failed relayout changed layout to %q", s.LayoutName())
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	for _, name := range append([]string{""}, LayoutNames()...) {
+		if _, err := ParseLayout(name); err != nil {
+			t.Errorf("ParseLayout(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseLayout("zorder"); err == nil {
+		t.Error("unknown layout accepted")
+	}
+}
+
+// TestElevatorSortMatchesPhysicalOrder: ElevatorSort produces ascending
+// physical addresses under any layout.
+func TestElevatorSortMatchesPhysicalOrder(t *testing.T) {
+	s := paginatedStore(t, 3000, 8)
+	if err := s.Relayout(HilbertLayout()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		pages := make([]PageID, rng.Intn(100))
+		for i := range pages {
+			pages[i] = PageID(rng.Intn(s.NumPages()))
+		}
+		s.ElevatorSort(pages)
+		for i := 1; i < len(pages); i++ {
+			if s.PhysicalPage(pages[i-1]) > s.PhysicalPage(pages[i]) {
+				t.Fatalf("trial %d: not physically sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestRunsPartition: Runs yields a partition of the batch, each run
+// physically ascending with internal gaps <= maxGap and boundary gaps >
+// maxGap.
+func TestRunsPartition(t *testing.T) {
+	s := paginatedStore(t, 3000, 8)
+	if err := s.Relayout(STRLayout()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, maxGap := range []PageID{0, 3, 17} {
+		seen := map[PageID]bool{}
+		var pages []PageID
+		for len(pages) < 80 {
+			p := PageID(rng.Intn(s.NumPages()))
+			if !seen[p] {
+				seen[p] = true
+				pages = append(pages, p)
+			}
+		}
+		s.ElevatorSort(pages)
+		total := 0
+		var prevEnd PageID
+		first := true
+		s.Runs(pages, maxGap, func(run []PageID) bool {
+			if len(run) == 0 {
+				t.Fatal("empty run")
+			}
+			for i := 1; i < len(run); i++ {
+				gap := s.PhysicalPage(run[i]) - s.PhysicalPage(run[i-1])
+				if gap == 0 || gap > maxGap+1 {
+					t.Fatalf("maxGap %d: in-run physical gap %d", maxGap, gap)
+				}
+			}
+			if !first {
+				if gap := s.PhysicalPage(run[0]) - prevEnd; gap <= maxGap+1 {
+					t.Fatalf("maxGap %d: runs split across bridgeable gap %d", maxGap, gap)
+				}
+			}
+			first = false
+			prevEnd = s.PhysicalPage(run[len(run)-1])
+			total += len(run)
+			return true
+		})
+		if total != len(pages) {
+			t.Fatalf("maxGap %d: runs covered %d of %d pages", maxGap, total, len(pages))
+		}
+	}
+}
+
+// TestReadBatchMatchesReadPages: under the identity layout, with bridging
+// disabled and no duplicates, one ReadBatch charges exactly what the
+// per-page ReadPages loop does — same cost, same stats. (Duplicates are
+// the one intended divergence: ReadBatch keeps the head on the page and
+// charges a transfer; ReadPages re-seeks.)
+func TestReadBatchMatchesReadPages(t *testing.T) {
+	model := CostModel{Seek: 5 * time.Millisecond, Transfer: 40 * time.Microsecond}
+	model.Seek = model.Transfer // MaxBridge == 0: no bridging
+	rng := rand.New(rand.NewSource(3))
+	s := paginatedStore(t, 2000, 8)
+	a, b := NewDisk(s, model), NewDisk(s, model)
+	for trial := 0; trial < 30; trial++ {
+		seen := map[PageID]bool{}
+		pages := make([]PageID, 0, 60)
+		for len(pages) < rng.Intn(60) {
+			p := PageID(rng.Intn(s.NumPages()))
+			if !seen[p] {
+				seen[p] = true
+				pages = append(pages, p)
+			}
+		}
+		ca := a.ReadPages(pages)
+		cb := b.ReadBatch(pages)
+		if ca != cb {
+			t.Fatalf("trial %d: ReadPages %v != ReadBatch %v", trial, ca, cb)
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("trial %d: stats %+v != %+v", trial, a.Stats(), b.Stats())
+		}
+	}
+}
+
+// TestReadBatchBridgesGaps: a gap worth less than a seek is streamed
+// through (transfers, no seek); a wider one seeks.
+func TestReadBatchBridgesGaps(t *testing.T) {
+	model := DefaultCostModel()
+	maxBridge := model.MaxBridge()
+	if maxBridge == 0 {
+		t.Fatal("default model has no bridge window")
+	}
+	s := paginatedStore(t, 64*150, 64) // 150 pages
+	d := NewDisk(s, model)
+
+	// Head parked at page 0, then a page maxBridge+1 ahead: bridgeable.
+	d.ReadPage(0)
+	base := d.Stats()
+	gap := PageID(100) // 100 <= maxBridge (124 default)
+	cost := d.ReadBatch([]PageID{0 + gap + 1})
+	st := d.Stats()
+	if st.Seeks != base.Seeks {
+		t.Fatalf("bridgeable gap paid a seek (%d -> %d)", base.Seeks, st.Seeks)
+	}
+	if st.BridgedPages-base.BridgedPages != int64(gap) {
+		t.Fatalf("bridged %d pages, want %d", st.BridgedPages-base.BridgedPages, gap)
+	}
+	if want := time.Duration(gap+1) * model.Transfer; cost != want {
+		t.Fatalf("bridged cost %v, want %v", cost, want)
+	}
+
+	// A fresh head and a backward target: always a seek, never a bridge.
+	d2 := NewDisk(s, model)
+	d2.ReadPage(140)
+	pre := d2.Stats()
+	d2.ReadBatch([]PageID{10})
+	if d2.Stats().Seeks != pre.Seeks+1 || d2.Stats().BridgedPages != pre.BridgedPages {
+		t.Fatalf("backward read: stats %+v -> %+v", pre, d2.Stats())
+	}
+}
+
+// BenchmarkDiskReadBatch measures the elevator sweep on batches made of
+// physically contiguous runs of 1, 4 and 16 pages (64 pages per batch).
+func BenchmarkDiskReadBatch(b *testing.B) {
+	// 8448 pages: 64 single-page runs separated by unbridgeable gaps span
+	// 64×(1+126) = 8128 physical addresses.
+	s := paginatedStore(b, 64*8448, 64)
+	model := DefaultCostModel()
+	for _, runLen := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("runs%d", runLen), func(b *testing.B) {
+			// 64 pages per batch, grouped into physically contiguous runs
+			// separated by unbridgeable gaps.
+			stride := int(model.MaxBridge()) + 2
+			var batch []PageID
+			p := 0
+			for len(batch) < 64 {
+				for i := 0; i < runLen && len(batch) < 64; i++ {
+					batch = append(batch, PageID(p))
+					p++
+				}
+				p += stride
+			}
+			if p >= s.NumPages() {
+				b.Fatalf("batch overflows store: %d >= %d", p, s.NumPages())
+			}
+			d := NewDisk(s, model)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.ResetHead()
+				d.ReadBatch(batch)
+			}
+		})
+	}
+}

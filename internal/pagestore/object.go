@@ -58,7 +58,9 @@ func (o Object) IntersectsBox(b geom.AABB) bool {
 }
 
 // Store holds a dataset's objects and their assignment to pages. A Store is
-// immutable after pagination and safe for concurrent readers.
+// immutable after pagination and safe for concurrent readers; the one
+// exception is Relayout (layout.go), which swaps the physical-page
+// placement and must not run concurrently with readers.
 type Store struct {
 	objects []Object
 	// pages[p] lists the objects stored in page p, in storage order.
@@ -68,6 +70,12 @@ type Store struct {
 	// pageBounds[p] is the MBR of page p's objects.
 	pageBounds []geom.AABB
 	perPage    int
+	// physOf[p] is the physical address of logical page p, installed by
+	// Relayout (see layout.go). Nil means the identity layout — physical ==
+	// logical — which keeps the seed's exact cost path.
+	physOf []PageID
+	// layout names the installed Layout ("" == "insertion").
+	layout string
 }
 
 // PageSizeBytes is the modeled page size (§7.1: "4KB page size").
