@@ -84,6 +84,13 @@ func main() {
 			base.Layout, fresh.Layout)
 		os.Exit(2)
 	}
+	// Timings under different fault configurations measure different
+	// physics — a heavy-fault run is slower by design, not by regression.
+	if base.Faults != fresh.Faults || base.FaultSeed != fresh.FaultSeed || base.SLOMS != fresh.SLOMS {
+		fmt.Fprintf(os.Stderr, "benchdiff: fault configuration mismatch (faults %q vs %q, faultseed %d vs %d, slo %vms vs %vms) — comparison void\n",
+			base.Faults, fresh.Faults, base.FaultSeed, fresh.FaultSeed, base.SLOMS, fresh.SLOMS)
+		os.Exit(2)
+	}
 
 	byID := map[string]benchfmt.Record{}
 	for _, r := range base.Experiments {

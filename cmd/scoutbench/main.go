@@ -33,6 +33,7 @@ import (
 	"scout/internal/benchfmt"
 	"scout/internal/engine"
 	"scout/internal/experiments"
+	"scout/internal/fault"
 	"scout/internal/pagestore"
 )
 
@@ -47,6 +48,9 @@ func main() {
 		sessions   = flag.Int("sessions", 0, "override the mu* experiments' session-count sweep with one count (0 = sweep 1..64)")
 		policy     = flag.String("policy", "", "override the mu* arbiter policy: fair, demand, starved or none (empty = per-experiment default/ablation)")
 		layout     = flag.String("layout", "", "physical page layout: insertion, hilbert or str (empty/insertion = the seed's order and per-page I/O; other layouts also enable batched elevator reads)")
+		faults     = flag.String("faults", "", "fault-injection profile for rob1: off, light, moderate or heavy (empty = rob1 sweeps all profiles; no other experiment injects)")
+		faultSeed  = flag.Int64("faultseed", 0, "seed for the deterministic fault schedules (0 = reuse -seed)")
+		slo        = flag.Duration("slo", 0, "per-query response-time objective for rob1's goodput/violation columns (0 = the fault-free run's p95)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -55,15 +59,10 @@ func main() {
 	)
 	flag.Parse()
 
-	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-22s %-14s %s\n", e.ID, e.Figure, e.Desc)
-		}
-		return
-	}
-
-	// Unknown -policy/-layout values are usage errors, never silent
+	// Unknown -policy/-layout/-faults values are usage errors, never silent
 	// fallbacks: a typo must not quietly measure the default configuration.
+	// Validation runs even for -list, so a typo is caught on the cheapest
+	// possible invocation.
 	if *policy != "" {
 		if _, err := engine.ParsePolicy(*policy); err != nil {
 			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -policy takes one of: %s\n",
@@ -78,8 +77,27 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *faults != "" {
+		if _, err := fault.ParseProfile(*faults, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -faults takes one of: %s\n",
+				err, strings.Join(fault.Profiles(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *slo < 0 {
+		fmt.Fprintf(os.Stderr, "scoutbench: negative -slo %v\nusage: -slo takes a non-negative duration (e.g. 25ms; 0 = default)\n", *slo)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %-14s %s\n", e.ID, e.Figure, e.Desc)
+		}
+		return
+	}
 	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers,
-		Sessions: *sessions, Policy: *policy, Layout: *layout}
+		Sessions: *sessions, Policy: *policy, Layout: *layout,
+		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -144,13 +162,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	// -sessions/-policy only affect the mu* experiments; stamping them into
-	// the JSON for a mu-free run would make benchdiff void comparisons
+	// -sessions/-policy only affect the mu*/rob* experiments, and
+	// -faults/-faultseed/-slo only rob*; stamping them into the JSON for a
+	// run without those experiments would make benchdiff void comparisons
 	// between configurations that are actually identical.
-	hasMu := false
+	hasMu, hasRob := false, false
 	for _, e := range toRun {
-		if strings.HasPrefix(e.ID, "mu") {
+		if strings.HasPrefix(e.ID, "mu") || strings.HasPrefix(e.ID, "rob") {
 			hasMu = true
+		}
+		if strings.HasPrefix(e.ID, "rob") {
+			hasRob = true
 		}
 	}
 	out := benchfmt.File{
@@ -163,6 +185,16 @@ func main() {
 	if hasMu {
 		out.Sessions = *sessions
 		out.SessionPolicy = *policy
+	}
+	// "off" IS the default fault configuration, like "insertion" for
+	// -layout below: normalize it so spelling the default never voids a
+	// benchdiff comparison.
+	if hasRob {
+		if *faults != "off" {
+			out.Faults = *faults
+		}
+		out.FaultSeed = *faultSeed
+		out.SLOMS = float64(slo.Microseconds()) / 1000
 	}
 	// "insertion" IS the default configuration: normalize it to the empty
 	// string so benchdiff never voids a comparison between two identical

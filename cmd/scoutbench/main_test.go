@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles as the scoutbench entry point when re-exec'd: usage
+// errors happen inside main() (flag validation + os.Exit), so the only way
+// to test them is to run the real binary. The test binary re-invokes
+// itself with SCOUTBENCH_BE_MAIN=1, which routes straight into main().
+func TestMain(m *testing.M) {
+	if os.Getenv("SCOUTBENCH_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runScoutbench re-execs the test binary as scoutbench with the given args.
+func runScoutbench(t *testing.T, args ...string) (stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SCOUTBENCH_BE_MAIN=1")
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		return errBuf.String(), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("scoutbench %v: %v", args, err)
+	}
+	return errBuf.String(), ee.ExitCode()
+}
+
+// TestUsageErrors pins the strict-flag contract: a typo in -faults, -policy
+// or -layout (or a nonsense -slo / -exp) must exit non-zero with the valid
+// options on stderr — never fall back silently to measuring the default
+// configuration.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings that must appear on stderr
+	}{
+		{"unknown faults profile", []string{"-faults", "catastrophic"},
+			[]string{"catastrophic", "-faults takes one of:", "off", "light", "moderate", "heavy"}},
+		{"unknown policy", []string{"-policy", "roundrobin"},
+			[]string{"roundrobin", "-policy takes one of:", "fair"}},
+		{"unknown layout", []string{"-layout", "zorder"},
+			[]string{"zorder", "-layout takes one of:", "hilbert", "str"}},
+		{"negative slo", []string{"-slo", "-5ms"},
+			[]string{"-slo", "non-negative"}},
+		{"unknown experiment", []string{"-exp", "fig99z"},
+			[]string{"fig99z", "-list"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stderr, code := runScoutbench(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("scoutbench %v exited 0\nstderr: %s", tc.args, stderr)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(stderr, want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr)
+				}
+			}
+		})
+	}
+}
+
+// TestValidFlagsPassValidation: the canonical spellings of every gated flag
+// get past validation (-list exits 0 before any dataset builds, so this
+// stays fast).
+func TestValidFlagsPassValidation(t *testing.T) {
+	stderr, code := runScoutbench(t,
+		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms")
+	if code != 0 {
+		t.Fatalf("valid flags rejected (exit %d):\n%s", code, stderr)
+	}
+}

@@ -26,15 +26,23 @@ type File struct {
 	Seed      int64   `json:"seed"`
 	Workers   int     `json:"workers"`
 	// Sessions and SessionPolicy record the -sessions/-policy overrides of
-	// the mu* multi-session experiments (zero/empty = full sweep). They are
-	// part of the configuration benchdiff refuses to compare across.
-	Sessions      int      `json:"sessions,omitempty"`
-	SessionPolicy string   `json:"session_policy,omitempty"`
+	// the mu*/rob* multi-session experiments (zero/empty = full sweep).
+	// They are part of the configuration benchdiff refuses to compare
+	// across.
+	Sessions      int    `json:"sessions,omitempty"`
+	SessionPolicy string `json:"session_policy,omitempty"`
 	// Layout records the -layout override (empty = insertion, the seed's
 	// physical order and per-page I/O path). Part of the configuration
 	// benchdiff refuses to compare across.
 	Layout string `json:"layout,omitempty"`
-	GOMAXPROCS    int      `json:"gomaxprocs"`
-	TotalWallMS   float64  `json:"total_wall_ms"`
-	Experiments   []Record `json:"experiments"`
+	// Faults, FaultSeed and SLOMS record rob1's -faults/-faultseed/-slo
+	// configuration (empty/zero = fault-profile sweep at the default seed
+	// and SLO). Timings under different fault configurations measure
+	// different physics, so benchdiff refuses to compare across them.
+	Faults      string   `json:"faults,omitempty"`
+	FaultSeed   int64    `json:"fault_seed,omitempty"`
+	SLOMS       float64  `json:"slo_ms,omitempty"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	TotalWallMS float64  `json:"total_wall_ms"`
+	Experiments []Record `json:"experiments"`
 }

@@ -1,0 +1,79 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFileRoundTrip pins the writer/reader contract: a fully-populated File
+// — including the configuration fields benchdiff refuses to compare across
+// (Sessions, SessionPolicy, Layout, Faults, FaultSeed, SLOMS) — must
+// survive marshal → unmarshal unchanged.
+func TestFileRoundTrip(t *testing.T) {
+	in := File{
+		Scale:         0.05,
+		Sequences:     4,
+		Seed:          7,
+		Workers:       8,
+		Sessions:      16,
+		SessionPolicy: "fair",
+		Layout:        "hilbert",
+		Faults:        "moderate",
+		FaultSeed:     99,
+		SLOMS:         25.5,
+		GOMAXPROCS:    8,
+		TotalWallMS:   1234.5,
+		Experiments: []Record{
+			{ID: "layout1", WallMS: 100.25, Seeks: 4242},
+			{ID: "rob1", WallMS: 50.5, SequentialWallMS: 200.75, Speedup: 3.975},
+		},
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out File
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the file:\n in  %+v\nout %+v", in, out)
+	}
+}
+
+// TestFileOmitsDefaultConfig: the optional configuration fields are
+// omitempty, so the seed-era BENCH_hotpath.json shape (no sessions, no
+// layout, no faults) is still exactly what a default run writes.
+func TestFileOmitsDefaultConfig(t *testing.T) {
+	raw, err := json.Marshal(File{Scale: 0.05, Sequences: 4, Seed: 7,
+		Experiments: []Record{{ID: "fig3", WallMS: 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sessions", "session_policy", "layout",
+		"faults", "fault_seed", "slo_ms", "seeks", "sequential_wall_ms", "speedup"} {
+		if strings.Contains(string(raw), `"`+key+`"`) {
+			t.Errorf("default file leaks %q: %s", key, raw)
+		}
+	}
+}
+
+// TestFileReadsSeedEraBaseline: a baseline written before the faults/layout
+// fields existed must unmarshal with those fields zero — benchdiff treats
+// zero as "default configuration", keeping old baselines comparable.
+func TestFileReadsSeedEraBaseline(t *testing.T) {
+	old := `{"scale":0.05,"sequences":4,"seed":7,"workers":0,"gomaxprocs":8,
+		"total_wall_ms":99.5,"experiments":[{"id":"fig3","wall_ms":42.25}]}`
+	var f File
+	if err := json.Unmarshal([]byte(old), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Faults != "" || f.FaultSeed != 0 || f.SLOMS != 0 || f.Layout != "" || f.Sessions != 0 {
+		t.Errorf("seed-era baseline grew configuration: %+v", f)
+	}
+	if len(f.Experiments) != 1 || f.Experiments[0].WallMS != 42.25 {
+		t.Errorf("experiments mangled: %+v", f.Experiments)
+	}
+}

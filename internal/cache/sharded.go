@@ -96,6 +96,17 @@ func (c *Sharded) shardFor(p pagestore.PageID) *shard {
 // ShardCount returns the number of shards.
 func (c *Sharded) ShardCount() int { return len(c.shards) }
 
+// ShardIndex returns the shard index page p maps to. It is the fault
+// layer's stalled-shard injection point: the serving loop asks which
+// shard a lookup touches and charges the injector's stall penalty for
+// that (shard, virtual-time window) pair, so a stalled shard slows every
+// session whose working set hashes into it — without the cache itself
+// knowing anything about faults or virtual time.
+func (c *Sharded) ShardIndex(p pagestore.PageID) int {
+	h := uint64(p) * 0x9E3779B97F4A7C15
+	return int(uint32(h>>33) & c.mask)
+}
+
 // Capacity returns the total page capacity across shards.
 func (c *Sharded) Capacity() int {
 	total := 0

@@ -47,6 +47,24 @@ type SessionStats struct {
 	GraphBuild  time.Duration
 	Prediction  time.Duration
 	GapPages    int64
+	// Serving-layer robustness outcomes, folded in via AddServe: the
+	// prefetcher never sees these itself (faults live on the disk and in
+	// the serving loop), but a session's operator reads one ledger.
+	FaultRetries   int64
+	ShedPrefetches int64
+	Rejected       int64
+}
+
+// AddServe folds one serving run's robustness outcomes into the ledger:
+// fault retries charged to the session's reads, prefetch windows shed by
+// the circuit breaker or a degraded admission, and whether admission
+// rejected the session outright.
+func (ss *SessionStats) AddServe(faultRetries, shedPrefetches int64, rejected bool) {
+	ss.FaultRetries += faultRetries
+	ss.ShedPrefetches += shedPrefetches
+	if rejected {
+		ss.Rejected++
+	}
 }
 
 // record folds one observation into the ledger.
@@ -170,6 +188,14 @@ func (s *Scout) Session() SessionStats { return s.session }
 
 // ClearSession zeroes the session-scoped ledger.
 func (s *Scout) ClearSession() { s.session = SessionStats{} }
+
+// AddServe folds one serving run's robustness outcomes for this session
+// into the ledger (see SessionStats.AddServe). The serving loop lives in
+// internal/engine, which only knows the prefetch.Prefetcher interface, so
+// the fold happens at the layer that owns both ends (the experiments).
+func (s *Scout) AddServe(faultRetries, shedPrefetches int64, rejected bool) {
+	s.session.AddServe(faultRetries, shedPrefetches, rejected)
+}
 
 // Plan implements prefetch.Prefetcher.
 func (s *Scout) Plan() prefetch.Plan { return s.plan }

@@ -80,6 +80,10 @@ type ledger struct {
 	// granted and used accumulate the arbiter's decisions for reporting.
 	granted time.Duration
 	used    time.Duration
+	// shedding marks a session whose circuit breaker is open (or that was
+	// admitted degraded): it takes no grants and does not count toward the
+	// active split, so its share of every window returns to the pool.
+	shedding bool
 }
 
 // Arbiter splits the per-window prefetch budget across sessions by a
@@ -90,6 +94,9 @@ type Arbiter struct {
 	mu      sync.Mutex
 	policy  Policy
 	ledgers []ledger
+	// contBuf is Grant's reusable shed-filtered contender scratch,
+	// guarded by mu.
+	contBuf []int
 }
 
 // NewArbiter creates an arbiter for a fixed session population.
@@ -110,7 +117,10 @@ func (a *Arbiter) Policy() Policy {
 // Grant returns how much of the session's prefetch window it may spend on
 // prefetch I/O, given the sessions currently contending for the disk
 // (sessions whose I/O is still in flight at this virtual time). The grant
-// never exceeds the window and is zero for a non-positive window.
+// never exceeds the window and is zero for a non-positive window. A
+// session marked shedding (SetShedding) is granted nothing, and shedding
+// contenders are excluded from the active split — their share of the
+// window returns to the pool.
 func (a *Arbiter) Grant(session int, contenders []int, window time.Duration) time.Duration {
 	if window <= 0 {
 		return 0
@@ -120,6 +130,17 @@ func (a *Arbiter) Grant(session int, contenders []int, window time.Duration) tim
 	if session < 0 || session >= len(a.ledgers) {
 		return 0
 	}
+	if a.ledgers[session].shedding {
+		return 0
+	}
+	a.contBuf = a.contBuf[:0]
+	for _, c := range contenders {
+		if c >= 0 && c < len(a.ledgers) && a.ledgers[c].shedding {
+			continue
+		}
+		a.contBuf = append(a.contBuf, c)
+	}
+	contenders = a.contBuf
 	active := 1 + len(contenders)
 	var grant time.Duration
 	switch a.policy {
@@ -204,6 +225,19 @@ func (a *Arbiter) hitOf(session int) float64 {
 	return a.ledgers[session].hitRate
 }
 
+// SetShedding marks (or unmarks) a session as shedding prefetch: an open
+// circuit breaker or a degraded admission. While set, Grant gives the
+// session nothing and excludes it from every other session's active
+// split, returning its budget share to the pool.
+func (a *Arbiter) SetShedding(session int, shed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if session < 0 || session >= len(a.ledgers) {
+		return
+	}
+	a.ledgers[session].shedding = shed
+}
+
 // Record feeds one completed query back into the session's ledger: how
 // many result pages it touched, how many hit the cache, and how much
 // prefetch I/O time it actually used of its last grant.
@@ -240,6 +274,9 @@ type SessionLedger struct {
 	HitRate float64 // EWMA per-query hit rate
 	Granted time.Duration
 	Used    time.Duration
+	// Shedding reports whether the session was marked shedding (breaker
+	// open or degraded admission) when the snapshot was taken.
+	Shedding bool
 }
 
 // Ledger returns the snapshot for one session (zero value out of range).
@@ -251,10 +288,11 @@ func (a *Arbiter) Ledger(session int) SessionLedger {
 	}
 	l := a.ledgers[session]
 	return SessionLedger{
-		Queries: l.queries,
-		Demand:  l.demand,
-		HitRate: l.hitRate,
-		Granted: l.granted,
-		Used:    l.used,
+		Queries:  l.queries,
+		Demand:   l.demand,
+		HitRate:  l.hitRate,
+		Granted:  l.granted,
+		Used:     l.used,
+		Shedding: l.shedding,
 	}
 }

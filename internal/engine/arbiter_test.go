@@ -95,9 +95,10 @@ func TestLedgerAccumulates(t *testing.T) {
 	}
 }
 
-// TestArbiterRaceHammer drives Grant/Record/Ledger from 16 goroutines so
-// `go test -race` exercises the arbiter's locking alongside the sharded
-// cache's (cache/cache_race_test.go).
+// TestArbiterRaceHammer drives Grant/Record/Ledger/SetShedding from 16
+// goroutines so `go test -race` exercises the arbiter's locking alongside
+// the sharded cache's (cache/cache_race_test.go). Shedding toggles mid-storm
+// model breakers opening and closing under load.
 func TestArbiterRaceHammer(t *testing.T) {
 	const goroutines = 16
 	for _, policy := range Policies() {
@@ -109,6 +110,9 @@ func TestArbiterRaceHammer(t *testing.T) {
 				defer wg.Done()
 				contenders := []int{(g + 1) % goroutines, (g + 2) % goroutines}
 				for i := 0; i < 2_000; i++ {
+					if i%97 == 0 {
+						a.SetShedding(g, i%2 == 0)
+					}
 					grant := a.Grant(g, contenders, time.Duration(i+1)*time.Microsecond)
 					if grant < 0 || grant > time.Duration(i+1)*time.Microsecond {
 						t.Errorf("grant %v out of range", grant)
@@ -119,6 +123,7 @@ func TestArbiterRaceHammer(t *testing.T) {
 						a.Ledger(g)
 					}
 				}
+				a.SetShedding(g, false)
 			}(g)
 		}
 		wg.Wait()
@@ -128,4 +133,68 @@ func TestArbiterRaceHammer(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGrantZeroBudgetWindow: every policy must grant nothing for a zero or
+// negative window — a starved arbiter window is priced as exactly zero
+// prefetch, not a negative grant or a ledger entry.
+func TestGrantZeroBudgetWindow(t *testing.T) {
+	for _, policy := range Policies() {
+		a := NewArbiter(policy, 4)
+		for _, w := range []time.Duration{0, -time.Millisecond} {
+			if got := a.Grant(0, []int{1, 2, 3}, w); got != 0 {
+				t.Errorf("%v: grant %v for window %v", policy, got, w)
+			}
+		}
+		if l := a.Ledger(0); l.Granted != 0 {
+			t.Errorf("%v: zero-budget windows accumulated %v granted", policy, l.Granted)
+		}
+	}
+}
+
+// TestStarvedFirstAllStarved: when every contender is equally starved (the
+// all-fresh start, hit rate 0 across the board), the tie rule must give the
+// asking session its FULL window — throttling everyone on a tie would
+// deadlock warm-up.
+func TestStarvedFirstAllStarved(t *testing.T) {
+	a := NewArbiter(StarvedFirst, 4)
+	window := 40 * time.Millisecond
+	for s := 0; s < 4; s++ {
+		contenders := make([]int, 0, 3)
+		for c := 0; c < 4; c++ {
+			if c != s {
+				contenders = append(contenders, c)
+			}
+		}
+		if got := a.Grant(s, contenders, window); got != window {
+			t.Errorf("all-starved session %d granted %v, want full %v", s, got, window)
+		}
+	}
+}
+
+// TestSheddingReturnsBudgetToPool: a shedding session gets nothing, and its
+// share of every other session's fair split returns to the pool.
+func TestSheddingReturnsBudgetToPool(t *testing.T) {
+	a := NewArbiter(FairShare, 3)
+	window := 30 * time.Millisecond
+	if got := a.Grant(0, []int{1, 2}, window); got != window/3 {
+		t.Fatalf("three-way split = %v, want %v", got, window/3)
+	}
+	a.SetShedding(1, true)
+	if got := a.Grant(1, []int{0, 2}, window); got != 0 {
+		t.Errorf("shedding session granted %v", got)
+	}
+	if got := a.Grant(0, []int{1, 2}, window); got != window/2 {
+		t.Errorf("split with one shedding contender = %v, want %v", got, window/2)
+	}
+	if l := a.Ledger(1); !l.Shedding {
+		t.Error("ledger does not report shedding")
+	}
+	a.SetShedding(1, false)
+	if got := a.Grant(0, []int{1, 2}, window); got != window/3 {
+		t.Errorf("split after unshedding = %v, want %v", got, window/3)
+	}
+	// Out-of-range sessions are ignored, not panics.
+	a.SetShedding(-1, true)
+	a.SetShedding(99, true)
 }

@@ -46,6 +46,15 @@ type Config struct {
 	// it: per-page logical-order scheduling on a permuted layout pays a
 	// seek per page.
 	BatchedIO bool
+	// Faults arms the engine's disk with a deterministic fault injector
+	// (see internal/fault); nil injects nothing and keeps the run
+	// byte-identical to the seed. The multi-session serving path takes its
+	// injector from ServeConfig.Faults instead — this field governs the
+	// single-session engine only.
+	Faults pagestore.FaultInjector
+	// Retry bounds recovery from injected transient read faults; zero
+	// fields take pagestore.DefaultRetryPolicy when Faults is set.
+	Retry pagestore.RetryPolicy
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -131,13 +140,17 @@ func New(store *pagestore.Store, index Index, cfg Config) *Engine {
 	if cfg.Cost == (pagestore.CostModel{}) {
 		cfg.Cost = pagestore.DefaultCostModel()
 	}
-	return &Engine{
+	e := &Engine{
 		store: store,
 		index: index,
 		disk:  pagestore.NewDisk(store, cfg.Cost),
 		cache: cache.New(cacheCapacity(cfg, store)),
 		cfg:   cfg,
 	}
+	if cfg.Faults != nil {
+		e.disk.SetFaults(cfg.Faults, cfg.Retry)
+	}
+	return e
 }
 
 // Cache exposes the engine's prefetch cache (for inspection in tests).

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"scout/internal/cache"
+	"scout/internal/fault"
 	"scout/internal/geom"
 	"scout/internal/pagestore"
 	"scout/internal/prefetch"
@@ -67,6 +68,59 @@ type ServeConfig struct {
 	// Workers bounds the plan phase's parallelism (0 = GOMAXPROCS).
 	// Results are byte-identical for any value.
 	Workers int
+	// Faults injects deterministic faults into the commit phase: transient
+	// read errors and slow pages on the shared disk, stalled cache shards,
+	// and starved arbiter windows (see internal/fault). Nil — or an
+	// injector whose Plan is disabled — keeps the serve byte-identical to
+	// the fault-free seed. (The single-session Engine arms its own disk
+	// via Config.Faults; this field governs the serving path only.)
+	Faults *fault.Injector
+	// Retry bounds recovery from injected transient read faults; zero
+	// fields take pagestore.DefaultRetryPolicy when faults are armed.
+	Retry pagestore.RetryPolicy
+	// Breaker configures the per-session circuit breaker that sheds
+	// PREFETCH windows (never demand reads) when a session's fault
+	// evidence EWMA trips. The zero value disables it.
+	Breaker BreakerConfig
+	// Admission gates new sessions at their first commit step: over the
+	// concurrency ceiling they are rejected outright or admitted degraded
+	// (prefetch permanently shed). The zero value disables it.
+	Admission AdmissionConfig
+	// SLO is the per-query response-time objective: counted queries whose
+	// response (residual I/O plus injected stalls) exceeds it are SLO
+	// violations. 0 disables SLO accounting.
+	SLO time.Duration
+}
+
+// AdmissionConfig parameterizes Serve's admission control. Under fault
+// pressure every marginal session adds seek interference for everyone; the
+// ceiling caps how many in-flight sessions a newcomer may join.
+type AdmissionConfig struct {
+	// Enabled turns admission control on. Off (the zero value) admits
+	// everything, exactly like the seed.
+	Enabled bool
+	// MaxConcurrent is the in-flight session ceiling: a session whose
+	// first commit step sees this many contenders (sessions with disk I/O
+	// still in flight) is not admitted normally (default 8).
+	MaxConcurrent int
+	// Degrade admits over-ceiling sessions with prefetch permanently shed
+	// instead of rejecting them: they still answer queries (demand reads
+	// only) but never compete for prefetch budget.
+	Degrade bool
+}
+
+// DefaultAdmissionConfig returns the enabled gate at its documented
+// defaults (reject, ceiling 8).
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{Enabled: true, MaxConcurrent: 8}
+}
+
+// withDefaults fills zero tuning fields of an enabled config.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultAdmissionConfig().MaxConcurrent
+	}
+	return c
 }
 
 // SessionResult is one session's outcome.
@@ -83,6 +137,24 @@ type SessionResult struct {
 	Completed time.Duration
 	// Ledger is the arbiter's final view of the session.
 	Ledger SessionLedger
+	// Rejected marks a session admission turned away at its first commit
+	// step: it executed no queries. Degraded marks one admitted with
+	// prefetch permanently shed.
+	Rejected bool
+	Degraded bool
+	// FaultRetries / TimedOutReads are the session's share of the shared
+	// disk's fault recoveries; ShardStalls counts its lookups that hit a
+	// stalled cache shard.
+	FaultRetries  int64
+	TimedOutReads int64
+	ShardStalls   int64
+	// BreakerTrips counts times the session's circuit breaker opened;
+	// ShedPrefetches counts prefetch windows shed (breaker open or
+	// degraded admission).
+	BreakerTrips   int64
+	ShedPrefetches int64
+	// SLOViolations counts counted queries over ServeConfig.SLO.
+	SLOViolations int64
 }
 
 // Aggregate merges the session's per-sequence results.
@@ -111,6 +183,53 @@ type ServeResult struct {
 	// Queries counts every executed query (including each sequence's
 	// uncounted first query).
 	Queries int64
+	// Robustness ledger (all zero on a fault-free run with breaker and
+	// admission off — the seed configuration).
+	//
+	// ShardStalls counts demand lookups that hit a stalled cache shard and
+	// StallDelay the total latency they charged. StarvedWindows counts
+	// prefetch windows lost to injected arbiter starvation. BreakerTrips /
+	// ShedPrefetches aggregate the per-session breaker activity.
+	ShardStalls    int64
+	StallDelay     time.Duration
+	StarvedWindows int64
+	BreakerTrips   int64
+	ShedPrefetches int64
+	// RejectedSessions / DegradedSessions count admission outcomes.
+	RejectedSessions int
+	DegradedSessions int
+	// SLOViolations counts counted queries whose response exceeded
+	// ServeConfig.SLO (0 when no SLO was set).
+	SLOViolations int64
+}
+
+// CountedQueries returns the number of counted queries served (the pooled
+// response-sample count).
+func (r ServeResult) CountedQueries() int64 {
+	var n int64
+	for _, s := range r.Sessions {
+		n += int64(len(s.Responses))
+	}
+	return n
+}
+
+// SLORate returns the fraction of counted queries that violated the SLO.
+func (r ServeResult) SLORate() float64 {
+	n := r.CountedQueries()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.SLOViolations) / float64(n)
+}
+
+// Goodput returns SLO-meeting counted queries per simulated second — the
+// robustness experiment's headline metric: rejecting a session costs its
+// queries, but saving everyone else's SLO can still win.
+func (r ServeResult) Goodput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.CountedQueries()-r.SLOViolations) / r.Makespan.Seconds()
 }
 
 // Throughput returns served queries per simulated second.
@@ -230,6 +349,13 @@ type sharedDisk struct {
 	interferenceSeeks int64
 	interferenceTime  time.Duration
 	sortBuf           []pagestore.PageID
+	// faults, when non-nil, injects per-read faults recovered under retry,
+	// priced by the same CostModel.FaultCost the single-session Disk uses.
+	// Unlike Disk (whose time coordinate is its own SimulatedIO), the
+	// shared disk is driven by the commit loop's virtual clock, so reads
+	// take the session's current time explicitly.
+	faults pagestore.FaultInjector
+	retry  pagestore.RetryPolicy
 }
 
 func newSharedDisk(store *pagestore.Store, model pagestore.CostModel, interference time.Duration, sessions int) *sharedDisk {
@@ -242,12 +368,38 @@ func newSharedDisk(store *pagestore.Store, model pagestore.CostModel, interferen
 
 func (d *sharedDisk) resetHead(session int) { d.heads[session] = pagestore.InvalidPage }
 
+// setFaults arms the shared disk (zero-value policy = DefaultRetryPolicy);
+// nil disarms.
+func (d *sharedDisk) setFaults(inj pagestore.FaultInjector, retry pagestore.RetryPolicy) {
+	d.faults = inj
+	if inj != nil {
+		retry = retry.WithDefaults()
+	}
+	d.retry = retry
+}
+
+// chargeFault prices and records one page read's fault recovery at virtual
+// time now; returns the extra cost to fold into the read. No-op (one nil
+// check) when disarmed — the fault-free serve stays byte-identical.
+func (d *sharedDisk) chargeFault(p pagestore.PageID, now time.Duration) time.Duration {
+	if d.faults == nil {
+		return 0
+	}
+	out := d.model.FaultCost(d.faults, d.retry, p, now)
+	d.stats.FaultRetries += out.Retries
+	if out.TimedOut {
+		d.stats.TimedOutReads++
+	}
+	d.stats.FaultDelay += out.Extra
+	return out.Extra
+}
+
 // readPage charges one page read on the session's head, with contenders
 // other sessions' I/O in flight. The base charge is CostModel.PageCost —
 // shared with pagestore.Disk.ReadPage — so with zero contenders (or a
 // zero penalty) it is exactly the single-session charge, the equivalence
 // TestServeIsolatedMatchesSingleSession pins.
-func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) time.Duration {
+func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int, now time.Duration) time.Duration {
 	phys := d.store.PhysicalPage(p)
 	cost, seek := d.model.PageCost(d.heads[session], phys)
 	if seek {
@@ -259,6 +411,7 @@ func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) t
 			d.interferenceTime += penalty
 		}
 	}
+	cost += d.chargeFault(p, now)
 	d.heads[session] = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
@@ -268,7 +421,7 @@ func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int) t
 // readPages reads a page set in ascending logical order, like
 // Disk.ReadPages — the seed's per-page path, kept for the non-batched
 // configuration's byte-identical goldens.
-func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders int) time.Duration {
+func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders int, now time.Duration) time.Duration {
 	if len(pages) == 0 {
 		return 0
 	}
@@ -276,7 +429,7 @@ func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders
 	pagestore.SortPageIDs(d.sortBuf)
 	var total time.Duration
 	for _, p := range d.sortBuf {
-		total += d.readPage(session, p, contenders)
+		total += d.readPage(session, p, contenders, now)
 	}
 	return total
 }
@@ -284,19 +437,19 @@ func (d *sharedDisk) readPages(session int, pages []pagestore.PageID, contenders
 // readBatch reads a page set in one elevator sweep — ascending PHYSICAL
 // order with gap bridging, like Disk.ReadBatch — on the session's head,
 // with the interference penalty applied per seek.
-func (d *sharedDisk) readBatch(session int, pages []pagestore.PageID, contenders int) time.Duration {
+func (d *sharedDisk) readBatch(session int, pages []pagestore.PageID, contenders int, now time.Duration) time.Duration {
 	if len(pages) == 0 {
 		return 0
 	}
 	d.sortBuf = append(d.sortBuf[:0], pages...)
 	d.store.ElevatorSort(d.sortBuf)
-	return d.readSweep(session, d.sortBuf, contenders)
+	return d.readSweep(session, d.sortBuf, contenders, now)
 }
 
 // readSweep charges one elevator sweep over an already physically sorted
 // page list on the session's head: priced by CostModel.SweepCost exactly
 // like Disk.ReadSorted, plus the per-seek interference penalty.
-func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contenders int) time.Duration {
+func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contenders int, now time.Duration) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -304,6 +457,13 @@ func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contender
 	d.heads[session] = last
 	cost := time.Duration(seeks)*d.model.Seek +
 		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
+	if d.faults != nil {
+		// Fault recovery per page of the sweep, all at the sweep's start
+		// time, exactly like Disk.ReadSorted.
+		for _, p := range sorted {
+			cost += d.chargeFault(p, now)
+		}
+	}
 	if contenders > 0 && d.interference > 0 && seeks > 0 {
 		penalty := time.Duration(seeks) * time.Duration(contenders) * d.interference
 		cost += penalty
@@ -442,10 +602,33 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	disk := newSharedDisk(store, cfg.Engine.Cost, cfg.InterferenceSeek, n)
 	arb := NewArbiter(cfg.Policy, n)
 
+	// Robustness machinery. faultsOn gates every injection-side branch so a
+	// nil or disabled injector leaves the loop byte-identical to the seed;
+	// breaker and admission are independent of injection (they react to
+	// evidence, wherever it comes from).
+	inj := cfg.Faults
+	faultsOn := inj != nil && inj.Plan().Enabled()
+	if faultsOn {
+		disk.setFaults(inj, cfg.Retry)
+	}
+	brkCfg := cfg.Breaker
+	if brkCfg.Enabled {
+		brkCfg = brkCfg.withDefaults()
+	}
+	breakers := make([]breaker, n)
+	for i := range breakers {
+		breakers[i].cfg = brkCfg
+	}
+	adm := cfg.Admission
+	if adm.Enabled {
+		adm = adm.withDefaults()
+	}
+
 	type sessState struct {
 		now       time.Duration
 		busyUntil time.Duration
 		stepIdx   int
+		admitted  bool
 		cur       SequenceResult
 		out       SessionResult
 	}
@@ -486,6 +669,26 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			}
 		}
 
+		// Admission: a session's first commit step is where it "arrives". At
+		// or over the ceiling it is rejected (its whole trajectory skipped —
+		// zero queries, zero disk time) or, with Degrade, admitted with
+		// prefetch permanently shed.
+		if adm.Enabled && !ss.admitted {
+			ss.admitted = true
+			if len(contBuf) >= adm.MaxConcurrent {
+				if adm.Degrade {
+					ss.out.Degraded = true
+					res.DegradedSessions++
+					arb.SetShedding(s, true)
+				} else {
+					ss.out.Rejected = true
+					res.RejectedSessions++
+					ss.stepIdx = len(plans[s])
+					continue
+				}
+			}
+		}
+
 		if st.queryIdx == 0 {
 			// Sequence start: private caches clear like RunSequence; the
 			// shared cache persists — serving is continuous, one session
@@ -507,8 +710,24 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			GraphDelta:  st.graphDelta,
 			Prediction:  st.prediction,
 		}
+		// Per-query fault evidence: the disk ledger's deltas over this step
+		// plus stalled-shard hits feed the session's breaker.
+		preRetries, preTimeouts := disk.stats.FaultRetries, disk.stats.TimedOutReads
+
+		// Demand lookups. A stalled cache shard (shared mode only — a
+		// private cache has no cross-session shard contention) charges its
+		// penalty on every access, hit or miss: the stall is in front of the
+		// data, not behind it.
+		var stallDelay time.Duration
+		var stallEvents int64
 		missBuf = missBuf[:0]
 		for _, pg := range st.pages {
+			if faultsOn && shared != nil {
+				if d := inj.ShardStall(shared.ShardIndex(pg), t); d > 0 {
+					stallDelay += d
+					stallEvents++
+				}
+			}
 			if caches[s].Lookup(pg) {
 				tr.HitPages++
 			} else {
@@ -516,26 +735,60 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			}
 		}
 		if cfg.Engine.BatchedIO {
-			tr.Residual = disk.readBatch(s, missBuf, len(contBuf))
+			tr.Residual = disk.readBatch(s, missBuf, len(contBuf), t)
 		} else {
-			tr.Residual = disk.readPages(s, missBuf, len(contBuf))
+			tr.Residual = disk.readPages(s, missBuf, len(contBuf), t)
 		}
+		tr.Residual += stallDelay
+		ss.out.ShardStalls += stallEvents
+		res.ShardStalls += stallEvents
+		res.StallDelay += stallDelay
 
 		budget := st.window
 		if !st.predictionHidden {
 			budget -= st.prediction
 		}
 		if !st.last && budget > 0 {
-			grant := arb.Grant(s, contBuf, budget)
-			if grant > 0 {
-				if cfg.Engine.BatchedIO {
-					tr.Prefetched, tr.PrefetchIO = commitPlanBatched(caches[s], disk, s, st, grant, len(contBuf), &batchBuf)
+			// The prefetch window: shed it when the session is degraded or
+			// its breaker is open (the budget share returns to the arbiter
+			// pool), and lose it when the injector starves this arbiter
+			// window for everyone.
+			allow := true
+			if ss.out.Degraded {
+				allow = false
+			} else if brkCfg.Enabled {
+				if breakers[s].allowPrefetch(t) {
+					arb.SetShedding(s, false)
 				} else {
-					tr.Prefetched, tr.PrefetchIO = commitPlan(caches[s], disk, s, st, grant, len(contBuf))
+					allow = false
+					arb.SetShedding(s, true)
+				}
+			}
+			if !allow {
+				ss.out.ShedPrefetches++
+				res.ShedPrefetches++
+			} else if faultsOn && inj.BudgetStarved(t) {
+				res.StarvedWindows++
+			} else {
+				grant := arb.Grant(s, contBuf, budget)
+				if grant > 0 {
+					if cfg.Engine.BatchedIO {
+						tr.Prefetched, tr.PrefetchIO = commitPlanBatched(caches[s], disk, s, st, grant, len(contBuf), &batchBuf, t)
+					} else {
+						tr.Prefetched, tr.PrefetchIO = commitPlan(caches[s], disk, s, st, grant, len(contBuf), t)
+					}
 				}
 			}
 		}
 		arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
+
+		qRetries := disk.stats.FaultRetries - preRetries
+		qTimeouts := disk.stats.TimedOutReads - preTimeouts
+		ss.out.FaultRetries += qRetries
+		ss.out.TimedOutReads += qTimeouts
+		if brkCfg.Enabled && !ss.out.Degraded {
+			breakers[s].observe(t+tr.Residual, faultScore(qRetries, qTimeouts, stallEvents))
+		}
 
 		counted := !(cfg.Engine.SkipFirstQuery && st.queryIdx == 0)
 		if counted {
@@ -549,6 +802,10 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				ss.cur.DeltaBuilds++
 			}
 			ss.out.Responses = append(ss.out.Responses, tr.Residual)
+			if cfg.SLO > 0 && tr.Residual > cfg.SLO {
+				ss.out.SLOViolations++
+				res.SLOViolations++
+			}
 		}
 		ss.cur.Queries = append(ss.cur.Queries, tr)
 		res.Queries++
@@ -565,6 +822,8 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 
 	for i, ss := range states {
 		ss.out.Ledger = arb.Ledger(i)
+		ss.out.BreakerTrips = breakers[i].trips
+		res.BreakerTrips += ss.out.BreakerTrips
 		res.Sessions = append(res.Sessions, ss.out)
 		if ss.out.Completed > res.Makespan {
 			res.Makespan = ss.out.Completed
@@ -640,7 +899,7 @@ func planSession(store *pagestore.Store, index Index, w SessionWorkload, cost pa
 // crosses the line still completes — the disk cannot abort a read). It
 // must stay semantically identical to executePlan (engine.go);
 // TestServeIsolatedMatchesSingleSession pins the equivalence.
-func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int) (int, time.Duration) {
+func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int, now time.Duration) (int, time.Duration) {
 	var spent time.Duration
 	prefetched := 0
 
@@ -648,7 +907,7 @@ func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Du
 		if c.Contains(pg) {
 			return true // already cached: free (still in cache)
 		}
-		cost := d.readPage(session, pg, contenders)
+		cost := d.readPage(session, pg, contenders, now)
 		spent += cost
 		c.Insert(pg)
 		prefetched++
@@ -677,7 +936,7 @@ func commitPlan(c pageCache, d *sharedDisk, session int, st step, budget time.Du
 // crosses the line completes; no further run starts). Issuing one batch
 // per turn also shrinks the window in which other sessions' in-flight I/O
 // counts as seek interference. buf is the caller's reusable scratch.
-func commitPlanBatched(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int, buf *[]pagestore.PageID) (int, time.Duration) {
+func commitPlanBatched(c pageCache, d *sharedDisk, session int, st step, budget time.Duration, contenders int, buf *[]pagestore.PageID, now time.Duration) (int, time.Duration) {
 	batch := (*buf)[:0]
 	batch = append(batch, st.traversal...)
 	for _, pages := range st.reqPages {
@@ -689,7 +948,7 @@ func commitPlanBatched(c pageCache, d *sharedDisk, session int, st step, budget 
 	var spent time.Duration
 	prefetched := 0
 	d.store.Runs(batch, d.model.MaxBridge(), func(run []pagestore.PageID) bool {
-		spent += d.readSweep(session, run, contenders)
+		spent += d.readSweep(session, run, contenders, now)
 		for _, pg := range run {
 			c.Insert(pg)
 			prefetched++

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"scout/internal/core"
 	"scout/internal/dataset"
@@ -83,6 +84,17 @@ type Options struct {
 	// permuted layout would pay a seek per page. layout1 sweeps layouts
 	// itself and restores this global choice afterwards.
 	Layout string
+	// Faults selects the fault-injection profile the rob1 experiment
+	// injects — "off", "light", "moderate" or "heavy" (scoutbench -faults
+	// F). Empty means rob1 sweeps every profile. No other experiment ever
+	// injects faults, whatever this is set to.
+	Faults string
+	// FaultSeed keys the fault schedules independently of the workload
+	// (scoutbench -faultseed; 0 = reuse Seed).
+	FaultSeed int64
+	// SLO is rob1's per-query response-time objective (scoutbench -slo;
+	// 0 = the 25 ms default, five seeks).
+	SLO time.Duration
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }

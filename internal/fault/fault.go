@@ -1,0 +1,202 @@
+// Package fault is the deterministic fault-injection layer for the serving
+// path (DESIGN.md §9). A Plan describes the fault universe — transient
+// page-read errors, slow-page latency spikes, stalled-shard episodes and
+// arbiter-budget starvation windows — and an Injector evaluates it as a
+// pure function of (seed, pageID, virtual time): no state, no real
+// randomness, no wall clock. The same plan over the same workload produces
+// the same faults on every run, for any worker count and under -race,
+// which is what makes the rob1 experiment golden-able.
+//
+// The injector only decides; the charging and the recovery live where the
+// resources live: pagestore.Disk and the engine's shared disk charge retry
+// and timeout costs to the virtual clock, the engine's circuit breaker
+// sheds prefetch, and Serve's admission control rejects or degrades
+// sessions. With a zero Plan (or a nil injector) every one of those paths
+// is byte-identical to the fault-free seed.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"scout/internal/pagestore"
+)
+
+// Plan is one deterministic fault configuration. All rates are
+// probabilities in [0,1], evaluated by hashing (Seed, domain, inputs) —
+// see Injector. The zero Plan injects nothing.
+type Plan struct {
+	// Seed keys every fault decision. Two plans that differ only in Seed
+	// fault different pages at different times at the same rates.
+	Seed int64
+
+	// ReadErrorRate is the per-attempt probability that a page read fails
+	// transiently and must be retried (pagestore.RetryPolicy bounds the
+	// recovery). Retry attempts re-roll: a read fails permanently only when
+	// every bounded attempt loses the roll.
+	ReadErrorRate float64
+
+	// SlowPageRate is the per-read probability of a latency spike of
+	// SlowPagePenalty — a remapped sector, a deep queue, a firmware hiccup.
+	SlowPageRate    float64
+	SlowPagePenalty time.Duration
+
+	// StallPeriod slices virtual time into episode windows; within a
+	// window, each cache shard is stalled with probability StallRate, and
+	// every access to a stalled shard charges StallPenalty (lock convoy,
+	// memory pressure, a compacting neighbor). Zero period disables stalls.
+	StallPeriod  time.Duration
+	StallRate    float64
+	StallPenalty time.Duration
+
+	// StarvePeriod slices virtual time into arbiter windows; within a
+	// window, with probability StarveRate, the arbiter's prefetch budget is
+	// starved to zero for every session (a background job owns the disk).
+	// Zero period disables starvation.
+	StarvePeriod time.Duration
+	StarveRate   float64
+}
+
+// Enabled reports whether the plan can inject anything at all.
+func (p Plan) Enabled() bool {
+	return p.ReadErrorRate > 0 ||
+		(p.SlowPageRate > 0 && p.SlowPagePenalty > 0) ||
+		(p.StallPeriod > 0 && p.StallRate > 0 && p.StallPenalty > 0) ||
+		(p.StarvePeriod > 0 && p.StarveRate > 0)
+}
+
+// Injector evaluates a Plan. It is stateless and safe for concurrent use;
+// every decision is a pure function of the plan and the call's inputs.
+// Injector implements pagestore.FaultInjector.
+type Injector struct {
+	plan Plan
+}
+
+// New creates an injector for the plan. A nil *Injector is valid
+// everywhere one is accepted and injects nothing.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Hash domains keep the decision streams independent: the same (page,
+// time) must be able to fail its read without also being slow.
+const (
+	domainError uint64 = 0x9E37_79B9_7F4A_7C15
+	domainSlow  uint64 = 0xC2B2_AE3D_27D4_EB4F
+	domainStall uint64 = 0x1656_67B1_9E37_79F9
+	domainStarv uint64 = 0x2545_F491_4F6C_DD1D
+)
+
+// mix is splitmix64's finalizer over the running hash — cheap, stateless,
+// and well distributed even for sequential inputs (page IDs, window
+// indexes).
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// roll reports whether the hash of the inputs lands under rate. The hash's
+// top 53 bits map uniformly onto [0,1), so rate 1 always hits and rate 0
+// never does.
+func roll(seed int64, domain uint64, a, b, c uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := mix(mix(mix(mix(uint64(seed)^domain)^a)^b) ^ c)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// ReadFailure reports whether the attempt-th try (0 = the first) at
+// reading page p at virtual time now fails transiently. Distinct attempts
+// re-roll independently, so bounded retries recover from transient errors
+// at rate^(attempts) residual probability.
+func (in *Injector) ReadFailure(p pagestore.PageID, now time.Duration, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	return roll(in.plan.Seed, domainError, uint64(p), uint64(now), uint64(attempt), in.plan.ReadErrorRate)
+}
+
+// SlowPage returns the latency spike injected on reading page p at virtual
+// time now, or zero.
+func (in *Injector) SlowPage(p pagestore.PageID, now time.Duration) time.Duration {
+	if in == nil || in.plan.SlowPagePenalty <= 0 {
+		return 0
+	}
+	if roll(in.plan.Seed, domainSlow, uint64(p), uint64(now), 0, in.plan.SlowPageRate) {
+		return in.plan.SlowPagePenalty
+	}
+	return 0
+}
+
+// ShardStall returns the extra latency charged on accessing cache shard
+// `shard` at virtual time now, or zero. Stall episodes are per
+// (StallPeriod window, shard): a stalled shard stays stalled for the whole
+// window, then re-rolls.
+func (in *Injector) ShardStall(shard int, now time.Duration) time.Duration {
+	if in == nil || in.plan.StallPeriod <= 0 || in.plan.StallPenalty <= 0 {
+		return 0
+	}
+	window := uint64(now / in.plan.StallPeriod)
+	if roll(in.plan.Seed, domainStall, window, uint64(shard), 0, in.plan.StallRate) {
+		return in.plan.StallPenalty
+	}
+	return 0
+}
+
+// BudgetStarved reports whether the arbiter's prefetch budget is starved
+// to zero at virtual time now. Starvation is per StarvePeriod window and
+// hits every session alike — the contended resource is the disk, not a
+// session.
+func (in *Injector) BudgetStarved(now time.Duration) bool {
+	if in == nil || in.plan.StarvePeriod <= 0 {
+		return false
+	}
+	window := uint64(now / in.plan.StarvePeriod)
+	return roll(in.plan.Seed, domainStarv, window, 0, 0, in.plan.StarveRate)
+}
+
+// Profiles returns the canned plan names, in scoutbench -faults order.
+func Profiles() []string { return []string{"off", "light", "moderate", "heavy"} }
+
+// ParseProfile resolves a scoutbench -faults value into a Plan keyed by
+// seed. Unknown names are usage errors, never silent fallbacks.
+func ParseProfile(name string, seed int64) (Plan, error) {
+	switch name {
+	case "off", "":
+		return Plan{}, nil
+	case "light":
+		return Plan{
+			Seed:          seed,
+			ReadErrorRate: 0.02,
+			SlowPageRate:  0.02, SlowPagePenalty: 2 * time.Millisecond,
+			StallPeriod: 50 * time.Millisecond, StallRate: 0.05, StallPenalty: 500 * time.Microsecond,
+			StarvePeriod: 100 * time.Millisecond, StarveRate: 0.05,
+		}, nil
+	case "moderate":
+		return Plan{
+			Seed:          seed,
+			ReadErrorRate: 0.08,
+			SlowPageRate:  0.05, SlowPagePenalty: 4 * time.Millisecond,
+			StallPeriod: 40 * time.Millisecond, StallRate: 0.15, StallPenalty: 1 * time.Millisecond,
+			StarvePeriod: 80 * time.Millisecond, StarveRate: 0.10,
+		}, nil
+	case "heavy":
+		return Plan{
+			Seed:          seed,
+			ReadErrorRate: 0.20,
+			SlowPageRate:  0.10, SlowPagePenalty: 8 * time.Millisecond,
+			StallPeriod: 30 * time.Millisecond, StallRate: 0.30, StallPenalty: 2 * time.Millisecond,
+			StarvePeriod: 60 * time.Millisecond, StarveRate: 0.20,
+		}, nil
+	}
+	return Plan{}, fmt.Errorf("fault: unknown fault profile %q (want off, light, moderate or heavy)", name)
+}

@@ -40,6 +40,104 @@ type DiskStats struct {
 	// bridges). Their transfer time is in SimulatedIO but they are not
 	// delivered, so they do not count as PagesRead.
 	BridgedPages int64
+	// FaultRetries counts read attempts retried after an injected transient
+	// failure; TimedOutReads counts reads that hit the per-read timeout
+	// (retries exhausted or recovery exceeding RetryPolicy.Timeout) and
+	// were served degraded. FaultDelay is the total virtual time those
+	// recoveries charged on top of the fault-free cost. All zero unless a
+	// FaultInjector is armed (DESIGN.md §9).
+	FaultRetries  int64
+	TimedOutReads int64
+	FaultDelay    time.Duration
+}
+
+// FaultInjector is the pluggable fault hook a Disk consults per read when
+// armed via SetFaults. Implementations must be pure functions of their
+// inputs (see internal/fault) so charged costs stay deterministic.
+type FaultInjector interface {
+	// ReadFailure reports whether the attempt-th try (0 = first) at reading
+	// page p at virtual time now fails transiently.
+	ReadFailure(p PageID, now time.Duration, attempt int) bool
+	// SlowPage returns the injected latency spike for reading page p at
+	// virtual time now, or zero.
+	SlowPage(p PageID, now time.Duration) time.Duration
+}
+
+// RetryPolicy bounds recovery from injected transient read faults: how
+// often a failed read attempt is retried, how long the backoff between
+// attempts grows, and the per-read timeout after which the read is
+// abandoned and served degraded. Recovery is charged to the virtual clock,
+// never hidden.
+type RetryPolicy struct {
+	// MaxRetries is the number of retry attempts after the first failure.
+	MaxRetries int
+	// Backoff is the wait before the first retry, doubling per attempt.
+	Backoff time.Duration
+	// Timeout caps one read's total fault-recovery charge: a read whose
+	// retries exhaust, or whose accumulated recovery exceeds the cap,
+	// charges exactly Timeout of fault delay and counts as timed out.
+	Timeout time.Duration
+}
+
+// DefaultRetryPolicy mirrors a conservative storage stack: three retries,
+// 200 µs initial backoff, 25 ms (five seeks) per-read timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 200 * time.Microsecond, Timeout: 25 * time.Millisecond}
+}
+
+// WithDefaults fills zero fields so an armed disk never retries unboundedly
+// or times out at zero.
+func (r RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = d.MaxRetries
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = d.Backoff
+	}
+	if r.Timeout <= 0 {
+		r.Timeout = d.Timeout
+	}
+	return r
+}
+
+// FaultOutcome is the priced recovery of one page read under injected
+// faults: the extra virtual time charged, the retries spent, and whether
+// the read timed out (served degraded at exactly RetryPolicy.Timeout).
+type FaultOutcome struct {
+	Extra    time.Duration
+	Retries  int64
+	TimedOut bool
+}
+
+// FaultCost prices one page read's fault recovery: an injected slow-page
+// spike, then bounded retry-with-backoff over injected transient failures
+// (each failed attempt charges one Transfer — the wasted rotation — plus
+// the exponential backoff), the whole recovery capped by the per-read
+// timeout. The single-session Disk and the multi-session shared disk both
+// charge through here, so the two recovery paths can never drift apart.
+// A nil injector prices to the zero outcome.
+func (m CostModel) FaultCost(inj FaultInjector, r RetryPolicy, p PageID, now time.Duration) FaultOutcome {
+	if inj == nil {
+		return FaultOutcome{}
+	}
+	var out FaultOutcome
+	out.Extra = inj.SlowPage(p, now)
+	backoff := r.Backoff
+	for attempt := 0; inj.ReadFailure(p, now, attempt); attempt++ {
+		if attempt >= r.MaxRetries {
+			out.TimedOut = true
+			break
+		}
+		out.Retries++
+		out.Extra += m.Transfer + backoff
+		backoff *= 2
+	}
+	if out.TimedOut || (r.Timeout > 0 && out.Extra > r.Timeout) {
+		out.Extra = r.Timeout
+		out.TimedOut = true
+	}
+	return out
 }
 
 // Disk mediates page reads against a Store, charging the cost model and
@@ -58,6 +156,12 @@ type Disk struct {
 	// is ColdCost's reusable physical-translation scratch.
 	batchBuf []PageID
 	coldBuf  []PageID
+	// faults, when non-nil, injects per-read faults recovered under retry
+	// (SetFaults). The disk's virtual time coordinate is its accumulated
+	// SimulatedIO — deterministic, monotone, and shared with the costs the
+	// injector perturbs.
+	faults FaultInjector
+	retry  RetryPolicy
 }
 
 // NewDisk creates a Disk over the given paginated store.
@@ -70,6 +174,33 @@ func NewDisk(store *Store, model CostModel) *Disk {
 
 // Store returns the underlying store.
 func (d *Disk) Store() *Store { return d.store }
+
+// SetFaults arms the disk with a fault injector and the retry policy that
+// recovers from it (zero-value policy = DefaultRetryPolicy). A nil
+// injector disarms; the disarmed disk is byte-identical to the seed.
+func (d *Disk) SetFaults(inj FaultInjector, retry RetryPolicy) {
+	d.faults = inj
+	if inj != nil {
+		retry = retry.WithDefaults()
+	}
+	d.retry = retry
+}
+
+// chargeFault prices and records one page read's fault recovery at the
+// disk's current virtual time; returns the extra cost to fold into the
+// read. No-op (and no overhead beyond one nil check) when disarmed.
+func (d *Disk) chargeFault(p PageID) time.Duration {
+	if d.faults == nil {
+		return 0
+	}
+	out := d.model.FaultCost(d.faults, d.retry, p, d.stats.SimulatedIO)
+	d.stats.FaultRetries += out.Retries
+	if out.TimedOut {
+		d.stats.TimedOutReads++
+	}
+	d.stats.FaultDelay += out.Extra
+	return out.Extra
+}
 
 // Model returns the disk's cost model.
 func (d *Disk) Model() CostModel { return d.model }
@@ -109,6 +240,7 @@ func (d *Disk) ReadPage(p PageID) time.Duration {
 	if seek {
 		d.stats.Seeks++
 	}
+	cost += d.chargeFault(p)
 	d.last = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
@@ -188,6 +320,14 @@ func (d *Disk) ReadSorted(sorted []PageID) time.Duration {
 	d.last = last
 	cost := time.Duration(seeks)*d.model.Seek +
 		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
+	if d.faults != nil {
+		// Fault recovery per page of the sweep, all at the sweep's start
+		// time: a faulted page breaks the elevator's stream and is retried,
+		// its wasted transfers and backoff charged on top of the sweep.
+		for _, p := range sorted {
+			cost += d.chargeFault(p)
+		}
+	}
 	d.stats.Seeks += seeks
 	d.stats.PagesRead += int64(len(sorted))
 	d.stats.BridgedPages += bridged
