@@ -91,6 +91,20 @@ func main() {
 			base.Faults, fresh.Faults, base.FaultSeed, fresh.FaultSeed, base.SLOMS, fresh.SLOMS)
 		os.Exit(2)
 	}
+	// A sim run and a file-backend run measure different physics (one is a
+	// pure virtual clock, the other includes real disk I/O and checksum
+	// work), as do two file runs under different integrity modes.
+	if base.Backend != fresh.Backend || base.Checksum != fresh.Checksum {
+		fmt.Fprintf(os.Stderr, "benchdiff: backend configuration mismatch (backend %q vs %q, checksum %q vs %q) — comparison void\n",
+			base.Backend, fresh.Backend, base.Checksum, fresh.Checksum)
+		os.Exit(2)
+	}
+	// File-backend wall clocks include real I/O, which is far noisier across
+	// CI runners than compute time — widen the noise floor. Seeks still come
+	// off the virtual clock and keep their exact, floorless gate.
+	if base.Backend == "file" {
+		*minWall *= 4
+	}
 
 	byID := map[string]benchfmt.Record{}
 	for _, r := range base.Experiments {

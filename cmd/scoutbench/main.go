@@ -17,6 +17,8 @@
 //	scoutbench -exp fig13d -seqs 10   # fewer sequences for a quick look
 //	scoutbench -exp mu2 -sessions 16  # 16 concurrent sessions, policy ablation
 //	scoutbench -exp mu1 -policy none  # multi-session, unarbitrated baseline
+//	scoutbench -exp fig3 -backend file   # durable checksummed page file
+//	scoutbench -exp dur1 -checksum repair  # pin dur1's integrity-mode sweep
 //	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
@@ -49,6 +51,9 @@ func main() {
 		policy     = flag.String("policy", "", "override the mu* arbiter policy: fair, demand, starved or none (empty = per-experiment default/ablation)")
 		layout     = flag.String("layout", "", "physical page layout: insertion, hilbert or str (empty/insertion = the seed's order and per-page I/O; other layouts also enable batched elevator reads)")
 		faults     = flag.String("faults", "", "fault-injection profile for rob1: off, light, moderate or heavy (empty = rob1 sweeps all profiles; no other experiment injects)")
+		backend    = flag.String("backend", "", "page store backend: sim or file (empty/sim = pure virtual-clock cost model; file reads a durable checksummed page file and reports real read time alongside the simulated cost)")
+		backendDir = flag.String("backenddir", "", "directory for the file backend's page files (empty = a fresh temp dir; only meaningful with -backend file)")
+		checksum   = flag.String("checksum", "", "file-backend integrity mode: off, verify or repair (empty = repair; also pins dur1's mode sweep, like -faults pins rob1)")
 		faultSeed  = flag.Int64("faultseed", 0, "seed for the deterministic fault schedules (0 = reuse -seed)")
 		slo        = flag.Duration("slo", 0, "per-query response-time objective for rob1's goodput/violation columns (0 = the fault-free run's p95)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
@@ -88,6 +93,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scoutbench: negative -slo %v\nusage: -slo takes a non-negative duration (e.g. 25ms; 0 = default)\n", *slo)
 		os.Exit(2)
 	}
+	if *backend != "" {
+		if _, err := experiments.ParseBackend(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -backend takes one of: %s\n",
+				err, strings.Join(experiments.BackendNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *checksum != "" {
+		if _, err := pagestore.ParseChecksumMode(*checksum); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -checksum takes one of: %s\n",
+				err, strings.Join(pagestore.ChecksumModeNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	// The file backend needs somewhere writable before any experiment runs:
+	// probe the directory up front so a read-only -backenddir is a clear
+	// usage error, not a panic from deep inside dataset setup.
+	if be, _ := experiments.ParseBackend(*backend); be == "file" && *backendDir != "" {
+		if err := os.MkdirAll(*backendDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: -backenddir: %v\nusage: -backenddir must name a writable directory\n", err)
+			os.Exit(2)
+		}
+		probe, err := os.CreateTemp(*backendDir, ".scout-probe-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: -backenddir %s is not writable: %v\nusage: -backenddir must name a writable directory\n", *backendDir, err)
+			os.Exit(2)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -97,7 +132,8 @@ func main() {
 	}
 	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers,
 		Sessions: *sessions, Policy: *policy, Layout: *layout,
-		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo}
+		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo,
+		Backend: *backend, BackendDir: *backendDir, Checksum: *checksum}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -201,6 +237,14 @@ func main() {
 	// setups spelled differently.
 	if *layout != "insertion" {
 		out.Layout = *layout
+	}
+	// Same normalization for the backend ("sim" is the default) and the
+	// integrity mode ("repair" is the default).
+	if *backend != "sim" {
+		out.Backend = *backend
+	}
+	if *checksum != "repair" {
+		out.Checksum = *checksum
 	}
 	// total accumulates only the (parallel) experiment runs, excluding the
 	// -compare sequential re-runs, so the JSON trajectory metric tracks the

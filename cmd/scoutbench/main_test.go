@@ -57,6 +57,10 @@ func TestUsageErrors(t *testing.T) {
 			[]string{"-slo", "non-negative"}},
 		{"unknown experiment", []string{"-exp", "fig99z"},
 			[]string{"fig99z", "-list"}},
+		{"unknown backend", []string{"-backend", "nvme"},
+			[]string{"nvme", "-backend takes one of:", "sim", "file"}},
+		{"unknown checksum mode", []string{"-checksum", "parity"},
+			[]string{"parity", "-checksum takes one of:", "off", "verify", "repair"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,8 +82,30 @@ func TestUsageErrors(t *testing.T) {
 // stays fast).
 func TestValidFlagsPassValidation(t *testing.T) {
 	stderr, code := runScoutbench(t,
-		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms")
+		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms",
+		"-backend", "file", "-checksum", "repair")
 	if code != 0 {
 		t.Fatalf("valid flags rejected (exit %d):\n%s", code, stderr)
+	}
+}
+
+// TestUnwritableBackendDir: pointing the file backend at a directory that
+// cannot be created or written must be a clear usage error up front, not a
+// panic from inside dataset setup.
+func TestUnwritableBackendDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	stderr, code := runScoutbench(t, "-list", "-backend", "file", "-backenddir", dir+"/sub")
+	if code != 2 {
+		t.Fatalf("unwritable -backenddir exited %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "-backenddir") || !strings.Contains(stderr, "writable") {
+		t.Errorf("stderr missing a clear writability message:\n%s", stderr)
 	}
 }

@@ -39,9 +39,17 @@ type File struct {
 	// configuration (empty/zero = fault-profile sweep at the default seed
 	// and SLO). Timings under different fault configurations measure
 	// different physics, so benchdiff refuses to compare across them.
-	Faults      string   `json:"faults,omitempty"`
-	FaultSeed   int64    `json:"fault_seed,omitempty"`
-	SLOMS       float64  `json:"slo_ms,omitempty"`
+	Faults    string  `json:"faults,omitempty"`
+	FaultSeed int64   `json:"fault_seed,omitempty"`
+	SLOMS     float64 `json:"slo_ms,omitempty"`
+	// Backend records the -backend override (empty = sim, the pure
+	// virtual-clock cost model). File-backend wall clocks include real I/O,
+	// so benchdiff refuses to compare across backends and applies a wider
+	// noise floor to file-backend wall metrics. Checksum records the file
+	// backend's -checksum integrity mode (empty = repair, the default —
+	// meaningful only with Backend "file").
+	Backend     string   `json:"backend,omitempty"`
+	Checksum    string   `json:"checksum,omitempty"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Experiments []Record `json:"experiments"`

@@ -23,6 +23,8 @@ func TestFileRoundTrip(t *testing.T) {
 		Faults:        "moderate",
 		FaultSeed:     99,
 		SLOMS:         25.5,
+		Backend:       "file",
+		Checksum:      "verify",
 		GOMAXPROCS:    8,
 		TotalWallMS:   1234.5,
 		Experiments: []Record{
@@ -53,7 +55,8 @@ func TestFileOmitsDefaultConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"sessions", "session_policy", "layout",
-		"faults", "fault_seed", "slo_ms", "seeks", "sequential_wall_ms", "speedup"} {
+		"faults", "fault_seed", "slo_ms", "backend", "checksum",
+		"seeks", "sequential_wall_ms", "speedup"} {
 		if strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("default file leaks %q: %s", key, raw)
 		}
@@ -70,7 +73,8 @@ func TestFileReadsSeedEraBaseline(t *testing.T) {
 	if err := json.Unmarshal([]byte(old), &f); err != nil {
 		t.Fatal(err)
 	}
-	if f.Faults != "" || f.FaultSeed != 0 || f.SLOMS != 0 || f.Layout != "" || f.Sessions != 0 {
+	if f.Faults != "" || f.FaultSeed != 0 || f.SLOMS != 0 || f.Layout != "" || f.Sessions != 0 ||
+		f.Backend != "" || f.Checksum != "" {
 		t.Errorf("seed-era baseline grew configuration: %+v", f)
 	}
 	if len(f.Experiments) != 1 || f.Experiments[0].WallMS != 42.25 {

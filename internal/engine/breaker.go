@@ -53,6 +53,21 @@ func faultScore(retries, timeouts, stalls int64) float64 {
 	return float64(retries) + 3*float64(timeouts) + float64(stalls)
 }
 
+// corruptionScore weights one query's storage-corruption evidence from the
+// durable backend (DESIGN.md §10): an unrepairable corrupt read counts 3 —
+// as alarming as a timed-out read, the data is gone until a scrub or
+// operator heals it — while a read repaired in place from the replica
+// counts 1 (recovered, but the medium is rotting). Added to faultScore as
+// breaker evidence, so corruption trips the same shedding machinery
+// injected faults do.
+func corruptionScore(corrupt, repaired int64) float64 {
+	unrepaired := corrupt - repaired
+	if unrepaired < 0 {
+		unrepaired = 0
+	}
+	return 3*float64(unrepaired) + float64(repaired)
+}
+
 // breaker is one session's circuit-breaker state, driven entirely by the
 // deterministic commit loop on the virtual clock.
 type breaker struct {

@@ -55,6 +55,20 @@ type Config struct {
 	// Retry bounds recovery from injected transient read faults; zero
 	// fields take pagestore.DefaultRetryPolicy when Faults is set.
 	Retry pagestore.RetryPolicy
+	// Backing, when non-nil, arms the engine's disk with a durable
+	// file-backed page store (DESIGN.md §10): every simulated read is also
+	// physically performed and checksum-verified, wall time recorded in
+	// DiskStats.WallRead. Nil keeps the pure simulation, byte-identical to
+	// the seed. Clones share the backing store (its reads are
+	// concurrency-safe); note that on-the-fly repair mutates the shared
+	// file, so runs that need byte-identical output across worker counts
+	// should use one worker when repair can occur.
+	Backing *pagestore.FileStore
+	// ScrubPages caps the background integrity scrub's per-window step: up
+	// to this many pages are verified out of whatever prefetch-window time
+	// the prefetcher left unused, so the scrub never starves demand reads
+	// or planned prefetch. Zero disables scrubbing. Requires Backing.
+	ScrubPages int
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -150,6 +164,9 @@ func New(store *pagestore.Store, index Index, cfg Config) *Engine {
 	if cfg.Faults != nil {
 		e.disk.SetFaults(cfg.Faults, cfg.Retry)
 	}
+	if cfg.Backing != nil {
+		e.disk.SetBacking(cfg.Backing)
+	}
 	return e
 }
 
@@ -236,6 +253,22 @@ func (e *Engine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) Seque
 			prefetched, ioTime := e.executePlan(plan, budget)
 			tr.Prefetched = prefetched
 			tr.PrefetchIO = ioTime
+		}
+
+		// 3b. Background integrity scrub, arbiter-aware by construction: it
+		// runs only on window time that demand reads AND planned prefetch
+		// left unused, and its per-window step is capped (ScrubPages), so it
+		// can never starve either. The last query has no window.
+		if e.cfg.ScrubPages > 0 && e.cfg.Backing != nil && qi < len(seq.Queries)-1 {
+			if leftover := budget - tr.PrefetchIO; leftover > 0 {
+				max := e.cfg.ScrubPages
+				if t := e.disk.Model().Transfer; t > 0 {
+					if byTime := int(leftover / t); byTime < max {
+						max = byTime
+					}
+				}
+				e.disk.ScrubStep(max)
+			}
 		}
 
 		// 4. Accounting.

@@ -148,6 +148,10 @@ type SessionResult struct {
 	FaultRetries  int64
 	TimedOutReads int64
 	ShardStalls   int64
+	// CorruptPages / RepairedPages are the session's share of the durable
+	// backend's detected corruption (zero without a backing store).
+	CorruptPages  int64
+	RepairedPages int64
 	// BreakerTrips counts times the session's circuit breaker opened;
 	// ShedPrefetches counts prefetch windows shed (breaker open or
 	// degraded admission).
@@ -356,6 +360,12 @@ type sharedDisk struct {
 	// take the session's current time explicitly.
 	faults pagestore.FaultInjector
 	retry  pagestore.RetryPolicy
+	// backing, when non-nil, physically performs every read against the
+	// durable file store via pagestore.ReadBacked — the same helper Disk
+	// uses, so the two backend paths can never drift apart.
+	backing *pagestore.FileStore
+	backBuf []byte
+	errs    []error
 }
 
 func newSharedDisk(store *pagestore.Store, model pagestore.CostModel, interference time.Duration, sessions int) *sharedDisk {
@@ -376,6 +386,14 @@ func (d *sharedDisk) setFaults(inj pagestore.FaultInjector, retry pagestore.Retr
 		retry = retry.WithDefaults()
 	}
 	d.retry = retry
+}
+
+// setBacking arms the shared disk with the durable file store; nil disarms.
+func (d *sharedDisk) setBacking(fs *pagestore.FileStore) {
+	d.backing = fs
+	if fs != nil && d.backBuf == nil {
+		d.backBuf = make([]byte, pagestore.PageSizeBytes)
+	}
 }
 
 // chargeFault prices and records one page read's fault recovery at virtual
@@ -412,6 +430,9 @@ func (d *sharedDisk) readPage(session int, p pagestore.PageID, contenders int, n
 		}
 	}
 	cost += d.chargeFault(p, now)
+	if d.backing != nil {
+		cost += pagestore.ReadBacked(d.backing, d.model, p, &d.stats, d.backBuf, &d.errs)
+	}
 	d.heads[session] = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
@@ -457,11 +478,14 @@ func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contender
 	d.heads[session] = last
 	cost := time.Duration(seeks)*d.model.Seek +
 		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
-	if d.faults != nil {
-		// Fault recovery per page of the sweep, all at the sweep's start
-		// time, exactly like Disk.ReadSorted.
+	if d.faults != nil || d.backing != nil {
+		// Fault recovery and backend verification per page of the sweep, all
+		// at the sweep's start time, exactly like Disk.ReadSorted.
 		for _, p := range sorted {
 			cost += d.chargeFault(p, now)
+			if d.backing != nil {
+				cost += pagestore.ReadBacked(d.backing, d.model, p, &d.stats, d.backBuf, &d.errs)
+			}
 		}
 	}
 	if contenders > 0 && d.interference > 0 && seeks > 0 {
@@ -611,6 +635,9 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	if faultsOn {
 		disk.setFaults(inj, cfg.Retry)
 	}
+	if cfg.Engine.Backing != nil {
+		disk.setBacking(cfg.Engine.Backing)
+	}
 	brkCfg := cfg.Breaker
 	if brkCfg.Enabled {
 		brkCfg = brkCfg.withDefaults()
@@ -711,8 +738,10 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			Prediction:  st.prediction,
 		}
 		// Per-query fault evidence: the disk ledger's deltas over this step
-		// plus stalled-shard hits feed the session's breaker.
+		// plus stalled-shard hits and detected corruption feed the session's
+		// breaker.
 		preRetries, preTimeouts := disk.stats.FaultRetries, disk.stats.TimedOutReads
+		preCorrupt, preRepaired := disk.stats.CorruptPages, disk.stats.RepairedPages
 
 		// Demand lookups. A stalled cache shard (shared mode only — a
 		// private cache has no cross-session shard contention) charges its
@@ -784,10 +813,15 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 
 		qRetries := disk.stats.FaultRetries - preRetries
 		qTimeouts := disk.stats.TimedOutReads - preTimeouts
+		qCorrupt := disk.stats.CorruptPages - preCorrupt
+		qRepaired := disk.stats.RepairedPages - preRepaired
 		ss.out.FaultRetries += qRetries
 		ss.out.TimedOutReads += qTimeouts
+		ss.out.CorruptPages += qCorrupt
+		ss.out.RepairedPages += qRepaired
 		if brkCfg.Enabled && !ss.out.Degraded {
-			breakers[s].observe(t+tr.Residual, faultScore(qRetries, qTimeouts, stallEvents))
+			breakers[s].observe(t+tr.Residual,
+				faultScore(qRetries, qTimeouts, stallEvents)+corruptionScore(qCorrupt, qRepaired))
 		}
 
 		counted := !(cfg.Engine.SkipFirstQuery && st.queryIdx == 0)

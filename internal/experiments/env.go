@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -95,8 +97,37 @@ type Options struct {
 	// SLO is rob1's per-query response-time objective (scoutbench -slo;
 	// 0 = the 25 ms default, five seeks).
 	SLO time.Duration
+	// Backend selects the page-store backend — "sim" or "file" (scoutbench
+	// -backend B). Empty means sim: the pure virtual-clock cost model,
+	// byte-identical to the committed goldens. "file" additionally writes
+	// each dataset to a page-aligned file (DESIGN.md §10) and physically
+	// performs every read, checksum-verified, with wall time recorded in
+	// DiskStats.WallRead; all virtual-clock outputs are unchanged.
+	Backend string
+	// BackendDir is the directory the file backend writes page files into
+	// (scoutbench -backenddir). Empty means a fresh temp directory.
+	BackendDir string
+	// Checksum selects the file backend's integrity mode — "off", "verify"
+	// or "repair" (scoutbench -checksum C). Empty means repair, the fully
+	// hardened default. The dur1 experiment interprets it differently: it
+	// sweeps all three modes unless this pins one.
+	Checksum string
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
+}
+
+// BackendNames lists the valid -backend values in flag order.
+func BackendNames() []string { return []string{"sim", "file"} }
+
+// ParseBackend validates a -backend value. The empty string means sim.
+func ParseBackend(name string) (string, error) {
+	switch name {
+	case "", "sim":
+		return "sim", nil
+	case "file":
+		return "file", nil
+	}
+	return "", fmt.Errorf("experiments: unknown backend %q (want sim or file)", name)
 }
 
 // DefaultOptions runs experiments at the documented scale.
@@ -157,6 +188,9 @@ type Env struct {
 	mu      sync.Mutex
 	setups  map[string]*Setup
 	muPlans map[string]muPlanned
+	// backendDir is the resolved file-backend directory (Options.BackendDir
+	// or a lazily created temp dir), memoized under mu.
+	backendDir string
 }
 
 // NewEnv creates an experiment environment.
@@ -194,8 +228,45 @@ func (e *Env) setup(key string, gen func() *dataset.Dataset) *Setup {
 	}
 	s.workers = e.opt.Workers
 	s.cfg = e.opt.engineConfig()
+	if e.opt.Backend == "file" {
+		// The file is written AFTER Relayout, so its physical slot order is
+		// the final layout and every elevator sweep the cost model prices is
+		// the sweep the file actually performs.
+		mode, err := pagestore.ParseChecksumMode(e.opt.Checksum)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		dir := e.backendDirLocked()
+		fs, err := pagestore.CreateFileStore(
+			filepath.Join(dir, key+".pages"), s.Store,
+			pagestore.FileStoreConfig{Mode: mode, Replica: mode == pagestore.ChecksumRepair})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: file backend for %s: %v", key, err))
+		}
+		s.cfg.Backing = fs
+	}
 	e.setups[key] = s
 	return s
+}
+
+// backendDirLocked resolves the file backend's directory (caller holds mu).
+func (e *Env) backendDirLocked() string {
+	if e.backendDir != "" {
+		return e.backendDir
+	}
+	if e.opt.BackendDir != "" {
+		if err := os.MkdirAll(e.opt.BackendDir, 0o755); err != nil {
+			panic(fmt.Sprintf("experiments: backend dir: %v", err))
+		}
+		e.backendDir = e.opt.BackendDir
+		return e.backendDir
+	}
+	dir, err := os.MkdirTemp("", "scout-pages-")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: backend dir: %v", err))
+	}
+	e.backendDir = dir
+	return dir
 }
 
 // Neuro returns the default neuroscience setup (≙ the paper's 450M-cylinder

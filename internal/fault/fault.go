@@ -168,10 +168,12 @@ func (in *Injector) BudgetStarved(now time.Duration) bool {
 func Profiles() []string { return []string{"off", "light", "moderate", "heavy"} }
 
 // ParseProfile resolves a scoutbench -faults value into a Plan keyed by
-// seed. Unknown names are usage errors, never silent fallbacks.
+// seed. Unknown names — including the empty string; callers that want a
+// default must choose one explicitly — are usage errors, never silent
+// fallbacks.
 func ParseProfile(name string, seed int64) (Plan, error) {
 	switch name {
-	case "off", "":
+	case "off":
 		return Plan{}, nil
 	case "light":
 		return Plan{

@@ -132,11 +132,13 @@ func TestParseProfile(t *testing.T) {
 			t.Errorf("%s profile dropped the seed", name)
 		}
 	}
-	if plan, err := ParseProfile("", 7); err != nil || plan.Enabled() {
-		t.Errorf("empty profile = %+v, %v; want disabled, nil", plan, err)
-	}
-	if _, err := ParseProfile("bogus", 7); err == nil {
-		t.Error("unknown profile accepted")
+	// Rejection cases: a typo and the empty string must both be loud usage
+	// errors — never a silent fall-back to the default profile. Callers that
+	// want a default ("off" for -faults) pick one before parsing.
+	for _, bad := range []string{"", "bogus", "OFF", "Light", "catastrophic"} {
+		if plan, err := ParseProfile(bad, 7); err == nil {
+			t.Errorf("ParseProfile(%q) accepted: %+v", bad, plan)
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package pagestore
 
 import (
+	"errors"
+	"math"
 	"time"
 )
 
@@ -49,6 +51,35 @@ type DiskStats struct {
 	FaultRetries  int64
 	TimedOutReads int64
 	FaultDelay    time.Duration
+	// Durable-backend counters (DESIGN.md §10), all zero unless a FileStore
+	// is armed. CorruptPages counts reads whose checksum verification
+	// failed; RepairedPages counts the subset healed in place from the
+	// replica — a corrupt read that could NOT be repaired surfaces a typed
+	// *CorruptPageError in Errs, and is never folded into TimedOutReads.
+	// CorruptDelay is the virtual time corruption handling charged.
+	// ScrubbedPages/ScrubIO account the background scrub's verification
+	// walk. WallRead is real elapsed time in backend reads — the only
+	// wall-clock number in DiskStats; everything else stays on the virtual
+	// clock. The monotonically growing counters saturate at math.MaxInt64
+	// instead of wrapping, so week-long scrub loops can't flip them
+	// negative.
+	CorruptPages  int64
+	RepairedPages int64
+	CorruptDelay  time.Duration
+	ScrubbedPages int64
+	ScrubIO       time.Duration
+	WallRead      time.Duration
+}
+
+// satAdd adds d (≥ 0) to *a, saturating at math.MaxInt64 instead of
+// wrapping: overflow-safe accounting for counters that grow forever under
+// long scrub runs.
+func satAdd(a *int64, d int64) {
+	if *a > math.MaxInt64-d {
+		*a = math.MaxInt64
+		return
+	}
+	*a += d
 }
 
 // FaultInjector is the pluggable fault hook a Disk consults per read when
@@ -162,6 +193,13 @@ type Disk struct {
 	// injector perturbs.
 	faults FaultInjector
 	retry  RetryPolicy
+	// backing, when non-nil, is the durable file store every simulated read
+	// also physically performs (SetBacking): checksums verify, wall time
+	// lands in WallRead, corruption is priced on the virtual clock. backBuf
+	// is the reusable page frame; errs is the capped corruption ledger.
+	backing *FileStore
+	backBuf []byte
+	errs    []error
 }
 
 // NewDisk creates a Disk over the given paginated store.
@@ -194,12 +232,114 @@ func (d *Disk) chargeFault(p PageID) time.Duration {
 		return 0
 	}
 	out := d.model.FaultCost(d.faults, d.retry, p, d.stats.SimulatedIO)
-	d.stats.FaultRetries += out.Retries
+	satAdd(&d.stats.FaultRetries, out.Retries)
 	if out.TimedOut {
-		d.stats.TimedOutReads++
+		satAdd(&d.stats.TimedOutReads, 1)
 	}
 	d.stats.FaultDelay += out.Extra
 	return out.Extra
+}
+
+// SetBacking arms the disk with a durable file store: every simulated read
+// is also performed against the file, verified per the store's checksum
+// mode, and timed into DiskStats.WallRead. Nil disarms; the disarmed disk
+// is byte-identical to the pure simulation.
+func (d *Disk) SetBacking(fs *FileStore) {
+	d.backing = fs
+	if fs != nil && d.backBuf == nil {
+		d.backBuf = make([]byte, PageSizeBytes)
+	}
+}
+
+// Backing returns the armed file store, or nil.
+func (d *Disk) Backing() *FileStore { return d.backing }
+
+// Errs returns the corruption ledger: the typed errors backend reads
+// surfaced (capped, oldest first). A retried-then-timed-out read never
+// lands here and a corrupt read never lands in TimedOutReads — the two
+// failure classes stay separately attributable.
+func (d *Disk) Errs() []error { return d.errs }
+
+// maxErrLedger caps the per-disk corruption ledger; past it only the
+// counters grow.
+const maxErrLedger = 16
+
+// CorruptionCost prices one detected-corruption event on the virtual
+// clock: the wasted transfer of the bad read, plus — when the page was
+// repaired from the replica — a seek to the replica and two transfers
+// (read the good copy, rewrite the bad one). The single-session Disk and
+// the multi-session shared disk both charge through here, so the two
+// corruption paths can never drift apart.
+func (m CostModel) CorruptionCost(repaired bool) time.Duration {
+	c := m.Transfer
+	if repaired {
+		c += m.Seek + 2*m.Transfer
+	}
+	return c
+}
+
+// ReadBacked physically performs one backend page read: wall time lands in
+// stats.WallRead, detected corruption is counted and priced
+// (CorruptionCost), and unrepairable reads append their typed error to the
+// capped ledger. It returns the extra VIRTUAL cost to fold into the
+// simulated read. Disk and the engine's multi-session shared disk both
+// read through here, so the two backend paths can never drift apart. A nil
+// fs is a no-op.
+func ReadBacked(fs *FileStore, m CostModel, p PageID, stats *DiskStats, buf []byte, errs *[]error) time.Duration {
+	if fs == nil {
+		return 0
+	}
+	start := time.Now()
+	_, repaired, err := fs.ReadPage(p, buf)
+	stats.WallRead += time.Since(start)
+	if err == nil && !repaired {
+		return 0
+	}
+	var extra time.Duration
+	if repaired {
+		satAdd(&stats.CorruptPages, 1)
+		satAdd(&stats.RepairedPages, 1)
+		extra = m.CorruptionCost(true)
+	} else {
+		var cpe *CorruptPageError
+		if errors.As(err, &cpe) {
+			satAdd(&stats.CorruptPages, 1)
+			extra = m.CorruptionCost(false)
+		}
+		if errs != nil && len(*errs) < maxErrLedger {
+			*errs = append(*errs, err)
+		}
+	}
+	stats.CorruptDelay += extra
+	return extra
+}
+
+// ScrubStep advances the background integrity scrub by up to max pages
+// (FileStore.Scrub) and returns the virtual cost charged: one seek to move
+// the arm to the scrub cursor, one transfer per page verified, and the
+// repair price for each page healed. The caller paces steps out of idle
+// prefetch-window time so scrubbing never competes with demand reads
+// (engine.Config.ScrubPages). No-op without a backing store.
+func (d *Disk) ScrubStep(max int) time.Duration {
+	if d.backing == nil || max <= 0 {
+		return 0
+	}
+	start := time.Now()
+	rep := d.backing.Scrub(max)
+	d.stats.WallRead += time.Since(start)
+	if rep.Scanned == 0 {
+		return 0
+	}
+	cost := d.model.Seek + time.Duration(rep.Scanned)*d.model.Transfer +
+		time.Duration(rep.Repaired)*(d.model.Seek+2*d.model.Transfer)
+	satAdd(&d.stats.ScrubbedPages, rep.Scanned)
+	satAdd(&d.stats.CorruptPages, rep.Corrupt)
+	satAdd(&d.stats.RepairedPages, rep.Repaired)
+	d.stats.ScrubIO += cost
+	d.stats.SimulatedIO += cost
+	// The scrub moved the arm; the next demand read seeks back.
+	d.last = InvalidPage
+	return cost
 }
 
 // Model returns the disk's cost model.
@@ -241,6 +381,9 @@ func (d *Disk) ReadPage(p PageID) time.Duration {
 		d.stats.Seeks++
 	}
 	cost += d.chargeFault(p)
+	if d.backing != nil {
+		cost += ReadBacked(d.backing, d.model, p, &d.stats, d.backBuf, &d.errs)
+	}
 	d.last = phys
 	d.stats.PagesRead++
 	d.stats.SimulatedIO += cost
@@ -320,12 +463,16 @@ func (d *Disk) ReadSorted(sorted []PageID) time.Duration {
 	d.last = last
 	cost := time.Duration(seeks)*d.model.Seek +
 		time.Duration(int64(len(sorted))+bridged)*d.model.Transfer
-	if d.faults != nil {
-		// Fault recovery per page of the sweep, all at the sweep's start
-		// time: a faulted page breaks the elevator's stream and is retried,
-		// its wasted transfers and backoff charged on top of the sweep.
+	if d.faults != nil || d.backing != nil {
+		// Fault recovery and backend verification per page of the sweep, all
+		// at the sweep's start time: a faulted or corrupt page breaks the
+		// elevator's stream, its wasted transfers, backoff and repair charged
+		// on top of the sweep.
 		for _, p := range sorted {
 			cost += d.chargeFault(p)
+			if d.backing != nil {
+				cost += ReadBacked(d.backing, d.model, p, &d.stats, d.backBuf, &d.errs)
+			}
 		}
 	}
 	d.stats.Seeks += seeks
