@@ -1,10 +1,10 @@
 // Command benchdiff compares a fresh scoutbench -benchjson run against the
 // committed BENCH_hotpath.json baseline and fails (exit 1) when any
-// experiment regressed in wall-clock — or in simulated Seeks, for
-// experiments that record them (layout1) — beyond the tolerance. CI runs it
-// so the perf trajectory is enforced, not just recorded. Seek counts come
-// off the virtual clock and are deterministic, so that gate has no noise
-// floor.
+// experiment regressed in wall-clock — or in simulated Seeks (layout1) or
+// open-loop p999 (load1), for experiments that record them — beyond the
+// tolerance. CI runs it so the perf trajectory is enforced, not just
+// recorded. Seek counts and load1's p999 come off the virtual clock and are
+// deterministic, so those gates have no noise floor.
 //
 // Wall-clock comparisons across different machines are inherently noisy; the
 // default tolerance (25%) absorbs typical CI-runner variance, and
@@ -99,6 +99,18 @@ func main() {
 			base.Backend, fresh.Backend, base.Checksum, fresh.Checksum)
 		os.Exit(2)
 	}
+	// Offered-load points under different arrival configurations are
+	// different experiments: a bursty 8x sweep's tail says nothing about a
+	// poisson 1x point. scoutbench normalizes the default spellings
+	// ("poisson", "mixed") to empty before writing, so only a real
+	// configuration change voids the comparison.
+	if base.Arrivals != fresh.Arrivals || base.ArrivalRate != fresh.ArrivalRate ||
+		base.Classes != fresh.Classes || base.PatienceMS != fresh.PatienceMS {
+		fmt.Fprintf(os.Stderr, "benchdiff: arrival configuration mismatch (arrivals %q vs %q, rate %v vs %v, classes %q vs %q, patience %vms vs %vms) — comparison void\n",
+			base.Arrivals, fresh.Arrivals, base.ArrivalRate, fresh.ArrivalRate,
+			base.Classes, fresh.Classes, base.PatienceMS, fresh.PatienceMS)
+		os.Exit(2)
+	}
 	// File-backend wall clocks include real I/O, which is far noisier across
 	// CI runners than compute time — widen the noise floor. Seeks still come
 	// off the virtual clock and keep their exact, floorless gate.
@@ -153,6 +165,21 @@ func main() {
 				}
 			}
 		}
+		// p999 under load is also virtual-clock deterministic: same exact
+		// gate as Seeks, including the must-keep-recording rule.
+		if br.P999MS > 0 {
+			if fr.P999MS == 0 {
+				marker += fmt.Sprintf("  p999 %.2fms -> MISSING", br.P999MS)
+				failed = true
+			} else {
+				pDelta := fr.P999MS/br.P999MS - 1
+				marker += fmt.Sprintf("  p999 %.2fms -> %.2fms (%+.1f%%)", br.P999MS, fr.P999MS, pDelta*100)
+				if pDelta > *maxRegress {
+					marker += "  P999 REGRESSION"
+					failed = true
+				}
+			}
+		}
 		fmt.Printf("%-26s %12.1f %12.1f %+8.1f%%%s\n", fr.ID, br.WallMS, fr.WallMS, delta*100, marker)
 	}
 	for id := range byID {
@@ -160,7 +187,7 @@ func main() {
 	}
 
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock or Seeks regression beyond %.0f%% — investigate or refresh the baseline\n", *maxRegress*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: wall-clock, Seeks or p999 regression beyond %.0f%% — investigate or refresh the baseline\n", *maxRegress*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK (tolerance %.0f%%)\n", *maxRegress*100)

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scout/internal/benchfmt"
+)
+
+// TestMain doubles as the benchdiff entry point when re-exec'd: the
+// void-comparison and regression gates end in os.Exit, so the only way to
+// test them is to run the real binary. The test binary re-invokes itself
+// with BENCHDIFF_BE_MAIN=1, which routes straight into main().
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHDIFF_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeBench marshals a benchfmt.File into dir and returns its path.
+func writeBench(t *testing.T, dir, name string, f benchfmt.File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runBenchdiff re-execs the test binary as benchdiff against the two files.
+func runBenchdiff(t *testing.T, baseline, fresh benchfmt.File) (output string, exitCode int) {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0],
+		"-baseline", writeBench(t, dir, "base.json", baseline),
+		"-fresh", writeBench(t, dir, "fresh.json", fresh))
+	cmd.Env = append(os.Environ(), "BENCHDIFF_BE_MAIN=1", "BENCH_TOLERANCE=")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	if err == nil {
+		return buf.String(), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("benchdiff: %v", err)
+	}
+	return buf.String(), ee.ExitCode()
+}
+
+// bench returns a minimal comparable file with one load1 record.
+func bench(p999 float64) benchfmt.File {
+	return benchfmt.File{
+		Scale: 0.05, Sequences: 4, Seed: 7,
+		Experiments: []benchfmt.Record{{ID: "load1", WallMS: 100, P999MS: p999}},
+	}
+}
+
+// TestArrivalConfigMismatchVoids: offered-load points measured under
+// different arrival configurations are different experiments — any mismatch
+// in process, rate, class mix or patience must void the comparison (exit 2)
+// rather than report a bogus regression.
+func TestArrivalConfigMismatchVoids(t *testing.T) {
+	mutate := []struct {
+		name string
+		mod  func(*benchfmt.File)
+	}{
+		{"process", func(f *benchfmt.File) { f.Arrivals = "bursty" }},
+		{"rate", func(f *benchfmt.File) { f.ArrivalRate = 4 }},
+		{"classes", func(f *benchfmt.File) { f.Classes = "uniform" }},
+		{"patience", func(f *benchfmt.File) { f.PatienceMS = 250 }},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := bench(50)
+			tc.mod(&fresh)
+			out, code := runBenchdiff(t, bench(50), fresh)
+			if code != 2 {
+				t.Fatalf("mismatched %s exited %d, want 2\n%s", tc.name, code, out)
+			}
+			if !strings.Contains(out, "arrival configuration mismatch") {
+				t.Errorf("output missing the void reason:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestArrivalDefaultsComparable: a seed-era baseline with no arrival fields
+// must stay comparable with a fresh default run — scoutbench normalizes the
+// default spellings to empty, so both sides are zero-valued.
+func TestArrivalDefaultsComparable(t *testing.T) {
+	out, code := runBenchdiff(t, bench(50), bench(50))
+	if code != 0 {
+		t.Fatalf("default arrival configs voided the comparison (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "benchdiff: OK") {
+		t.Errorf("missing OK line:\n%s", out)
+	}
+}
+
+// TestP999Gate pins the deterministic p999 gate: regressions beyond the
+// tolerance fail (exit 1), improvements and in-tolerance drift pass, and a
+// fresh run that silently drops the metric fails — a disarmed gate is a
+// regression too.
+func TestP999Gate(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, new  float64
+		wantCode   int
+		wantOutput string
+	}{
+		{"regression", 50, 100, 1, "P999 REGRESSION"},
+		{"improvement", 100, 50, 0, "benchdiff: OK"},
+		{"within tolerance", 100, 110, 0, "benchdiff: OK"},
+		{"metric dropped", 50, 0, 1, "MISSING"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, code := runBenchdiff(t, bench(tc.base), bench(tc.new))
+			if code != tc.wantCode {
+				t.Fatalf("exited %d, want %d\n%s", code, tc.wantCode, out)
+			}
+			if !strings.Contains(out, tc.wantOutput) {
+				t.Errorf("output missing %q:\n%s", tc.wantOutput, out)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@
 //	scoutbench -exp mu1 -policy none  # multi-session, unarbitrated baseline
 //	scoutbench -exp fig3 -backend file   # durable checksummed page file
 //	scoutbench -exp dur1 -checksum repair  # pin dur1's integrity-mode sweep
+//	scoutbench -exp load1 -arrivals bursty -rate 4  # open-loop sweep, one load point
 //	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
@@ -56,6 +57,10 @@ func main() {
 		checksum   = flag.String("checksum", "", "file-backend integrity mode: off, verify or repair (empty = repair; also pins dur1's mode sweep, like -faults pins rob1)")
 		faultSeed  = flag.Int64("faultseed", 0, "seed for the deterministic fault schedules (0 = reuse -seed)")
 		slo        = flag.Duration("slo", 0, "per-query response-time objective for rob1's goodput/violation columns (0 = the fault-free run's p95)")
+		arrivals   = flag.String("arrivals", "", "load1's open-loop arrival process: poisson or bursty (empty = poisson)")
+		rate       = flag.Float64("rate", 0, "pin load1's offered-load sweep to one multiplier of the calibrated capacity (0 = full 0.5x..8x sweep)")
+		classes    = flag.String("classes", "", "load1's workload class mix: mixed or uniform (empty = mixed: model/scan/teleport)")
+		patience   = flag.Duration("patience", 0, "load1's base abandonment patience (0 = 2x the derived SLO)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -107,6 +112,28 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *arrivals != "" {
+		if _, err := engine.ParseArrivalProcess(*arrivals); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -arrivals takes one of: %s\n",
+				err, strings.Join(engine.ArrivalProcessNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *rate < 0 {
+		fmt.Fprintf(os.Stderr, "scoutbench: negative -rate %v\nusage: -rate takes a non-negative load multiplier (e.g. 2; 0 = full sweep)\n", *rate)
+		os.Exit(2)
+	}
+	if *classes != "" {
+		if _, err := experiments.ParseClassMix(*classes); err != nil {
+			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -classes takes one of: %s\n",
+				err, strings.Join(experiments.ClassMixNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *patience < 0 {
+		fmt.Fprintf(os.Stderr, "scoutbench: negative -patience %v\nusage: -patience takes a non-negative duration (e.g. 100ms; 0 = 2x the derived SLO)\n", *patience)
+		os.Exit(2)
+	}
 	// The file backend needs somewhere writable before any experiment runs:
 	// probe the directory up front so a read-only -backenddir is a clear
 	// usage error, not a panic from deep inside dataset setup.
@@ -133,7 +160,8 @@ func main() {
 	opt := experiments.Options{Scale: *scale, Sequences: *seqs, Seed: *seed, Workers: *workers,
 		Sessions: *sessions, Policy: *policy, Layout: *layout,
 		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo,
-		Backend: *backend, BackendDir: *backendDir, Checksum: *checksum}
+		Backend: *backend, BackendDir: *backendDir, Checksum: *checksum,
+		Arrivals: *arrivals, Rate: *rate, Classes: *classes, Patience: *patience}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -202,13 +230,16 @@ func main() {
 	// -faults/-faultseed/-slo only rob*; stamping them into the JSON for a
 	// run without those experiments would make benchdiff void comparisons
 	// between configurations that are actually identical.
-	hasMu, hasRob := false, false
+	hasMu, hasRob, hasLoad := false, false, false
 	for _, e := range toRun {
 		if strings.HasPrefix(e.ID, "mu") || strings.HasPrefix(e.ID, "rob") {
 			hasMu = true
 		}
 		if strings.HasPrefix(e.ID, "rob") {
 			hasRob = true
+		}
+		if strings.HasPrefix(e.ID, "load") {
+			hasLoad = true
 		}
 	}
 	out := benchfmt.File{
@@ -231,6 +262,20 @@ func main() {
 		}
 		out.FaultSeed = *faultSeed
 		out.SLOMS = float64(slo.Microseconds()) / 1000
+	}
+	// -arrivals/-rate/-classes/-patience only shape load1's offered-load
+	// points; "poisson" and "mixed" ARE the defaults, so normalize them like
+	// "off"/"insertion" above — spelling the default never voids a benchdiff
+	// comparison.
+	if hasLoad {
+		if *arrivals != "poisson" {
+			out.Arrivals = *arrivals
+		}
+		out.ArrivalRate = *rate
+		if *classes != "mixed" {
+			out.Classes = *classes
+		}
+		out.PatienceMS = float64(patience.Microseconds()) / 1000
 	}
 	// "insertion" IS the default configuration: normalize it to the empty
 	// string so benchdiff never voids a comparison between two identical
@@ -257,7 +302,7 @@ func main() {
 		total += wall
 		fmt.Println(res.String())
 
-		rec := benchfmt.Record{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000, Seeks: res.Seeks}
+		rec := benchfmt.Record{ID: e.ID, WallMS: float64(wall.Microseconds()) / 1000, Seeks: res.Seeks, P999MS: res.P999MS}
 		if *compare {
 			seqStart := time.Now()
 			seqRes := e.Run(seqEnv)

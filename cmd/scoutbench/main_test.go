@@ -61,6 +61,14 @@ func TestUsageErrors(t *testing.T) {
 			[]string{"nvme", "-backend takes one of:", "sim", "file"}},
 		{"unknown checksum mode", []string{"-checksum", "parity"},
 			[]string{"parity", "-checksum takes one of:", "off", "verify", "repair"}},
+		{"unknown arrival process", []string{"-arrivals", "pareto"},
+			[]string{"pareto", "-arrivals takes one of:", "poisson", "bursty"}},
+		{"negative rate", []string{"-rate", "-2"},
+			[]string{"-rate", "non-negative"}},
+		{"unknown class mix", []string{"-classes", "vip"},
+			[]string{"vip", "-classes takes one of:", "mixed", "uniform"}},
+		{"negative patience", []string{"-patience", "-10ms"},
+			[]string{"-patience", "non-negative"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,7 +91,8 @@ func TestUsageErrors(t *testing.T) {
 func TestValidFlagsPassValidation(t *testing.T) {
 	stderr, code := runScoutbench(t,
 		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms",
-		"-backend", "file", "-checksum", "repair")
+		"-backend", "file", "-checksum", "repair",
+		"-arrivals", "bursty", "-rate", "4", "-classes", "uniform", "-patience", "100ms")
 	if code != 0 {
 		t.Fatalf("valid flags rejected (exit %d):\n%s", code, stderr)
 	}

@@ -13,6 +13,11 @@ type Record struct {
 	// measures I/O (layout1); zero otherwise. Unlike wall time it is
 	// deterministic, so benchdiff gates regressions on it exactly.
 	Seeks int64 `json:"seeks,omitempty"`
+	// P999MS is the experiment's headline p999 response time in
+	// milliseconds, when it measures tail latency under open-loop load
+	// (load1's highest-load mitigated configuration); zero otherwise.
+	// Deterministic (virtual clock), so benchdiff gates on it exactly.
+	P999MS float64 `json:"p999_ms,omitempty"`
 	// SequentialWallMS is filled only with -compare.
 	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
 	// Speedup is SequentialWallMS / WallMS (with -compare).
@@ -50,6 +55,16 @@ type File struct {
 	// meaningful only with Backend "file").
 	Backend     string   `json:"backend,omitempty"`
 	Checksum    string   `json:"checksum,omitempty"`
+	// Arrivals, ArrivalRate, Classes and PatienceMS record load1's
+	// -arrivals/-rate/-classes/-patience open-loop configuration (empty/zero
+	// = the defaults: poisson arrivals, the full multiplier sweep, the mixed
+	// class table, 2x-SLO patience). Offered-load points measured under
+	// different arrival configurations are different experiments, so
+	// benchdiff refuses to compare across them.
+	Arrivals    string  `json:"arrivals,omitempty"`
+	ArrivalRate float64 `json:"arrival_rate,omitempty"`
+	Classes     string  `json:"classes,omitempty"`
+	PatienceMS  float64 `json:"patience_ms,omitempty"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Experiments []Record `json:"experiments"`

@@ -25,11 +25,16 @@ func TestFileRoundTrip(t *testing.T) {
 		SLOMS:         25.5,
 		Backend:       "file",
 		Checksum:      "verify",
+		Arrivals:      "bursty",
+		ArrivalRate:   4,
+		Classes:       "uniform",
+		PatienceMS:    92.5,
 		GOMAXPROCS:    8,
 		TotalWallMS:   1234.5,
 		Experiments: []Record{
 			{ID: "layout1", WallMS: 100.25, Seeks: 4242},
 			{ID: "rob1", WallMS: 50.5, SequentialWallMS: 200.75, Speedup: 3.975},
+			{ID: "load1", WallMS: 75.5, P999MS: 124.14},
 		},
 	}
 	raw, err := json.Marshal(in)
@@ -56,6 +61,7 @@ func TestFileOmitsDefaultConfig(t *testing.T) {
 	}
 	for _, key := range []string{"sessions", "session_policy", "layout",
 		"faults", "fault_seed", "slo_ms", "backend", "checksum",
+		"arrivals", "arrival_rate", "classes", "patience_ms", "p999_ms",
 		"seeks", "sequential_wall_ms", "speedup"} {
 		if strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("default file leaks %q: %s", key, raw)
@@ -74,7 +80,8 @@ func TestFileReadsSeedEraBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	if f.Faults != "" || f.FaultSeed != 0 || f.SLOMS != 0 || f.Layout != "" || f.Sessions != 0 ||
-		f.Backend != "" || f.Checksum != "" {
+		f.Backend != "" || f.Checksum != "" ||
+		f.Arrivals != "" || f.ArrivalRate != 0 || f.Classes != "" || f.PatienceMS != 0 {
 		t.Errorf("seed-era baseline grew configuration: %+v", f)
 	}
 	if len(f.Experiments) != 1 || f.Experiments[0].WallMS != 42.25 {

@@ -53,6 +53,11 @@ type SessionStats struct {
 	FaultRetries   int64
 	ShedPrefetches int64
 	Rejected       int64
+	// Open-loop churn outcomes, folded in via AddOpenLoop: sessions this
+	// ledger's user abandoned after a response blew past their patience,
+	// and the counted-query slots forfeited by rejection or abandonment.
+	Abandoned   int64
+	LostQueries int64
 }
 
 // AddServe folds one serving run's robustness outcomes into the ledger:
@@ -65,6 +70,16 @@ func (ss *SessionStats) AddServe(faultRetries, shedPrefetches int64, rejected bo
 	if rejected {
 		ss.Rejected++
 	}
+}
+
+// AddOpenLoop folds one open-loop serving run's churn outcomes into the
+// ledger: whether the session abandoned mid-trajectory, and how many counted
+// queries its rejection or abandonment forfeited.
+func (ss *SessionStats) AddOpenLoop(abandoned bool, lostQueries int64) {
+	if abandoned {
+		ss.Abandoned++
+	}
+	ss.LostQueries += lostQueries
 }
 
 // record folds one observation into the ledger.
@@ -195,6 +210,12 @@ func (s *Scout) ClearSession() { s.session = SessionStats{} }
 // the fold happens at the layer that owns both ends (the experiments).
 func (s *Scout) AddServe(faultRetries, shedPrefetches int64, rejected bool) {
 	s.session.AddServe(faultRetries, shedPrefetches, rejected)
+}
+
+// AddOpenLoop folds one open-loop serving run's churn outcomes for this
+// session into the ledger (see SessionStats.AddOpenLoop).
+func (s *Scout) AddOpenLoop(abandoned bool, lostQueries int64) {
+	s.session.AddOpenLoop(abandoned, lostQueries)
 }
 
 // Plan implements prefetch.Prefetcher.

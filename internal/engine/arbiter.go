@@ -84,6 +84,9 @@ type ledger struct {
 	// admitted degraded): it takes no grants and does not count toward the
 	// active split, so its share of every window returns to the pool.
 	shedding bool
+	// priority is the session's workload-class weight (0 = unset, treated
+	// as the neutral 1.0). See Arbiter.SetPriority.
+	priority float64
 }
 
 // Arbiter splits the per-window prefetch budget across sessions by a
@@ -94,6 +97,11 @@ type Arbiter struct {
 	mu      sync.Mutex
 	policy  Policy
 	ledgers []ledger
+	// weighted flips when any session's priority is set away from 1:
+	// only then do the policies take the float-weighted share paths, so a
+	// priority-free arbiter stays bit-exact with the integer-division seed
+	// arithmetic.
+	weighted bool
 	// contBuf is Grant's reusable shed-filtered contender scratch,
 	// guarded by mu.
 	contBuf []int
@@ -147,7 +155,11 @@ func (a *Arbiter) Grant(session int, contenders []int, window time.Duration) tim
 	case Unarbitrated:
 		grant = window
 	case FairShare:
-		grant = window / time.Duration(active)
+		if a.weighted {
+			grant = a.priorityShare(session, contenders, window, active)
+		} else {
+			grant = window / time.Duration(active)
+		}
 	case DemandWeighted:
 		grant = a.demandGrant(session, contenders, window, active)
 	case StarvedFirst:
@@ -167,7 +179,8 @@ func (a *Arbiter) Grant(session int, contenders []int, window time.Duration) tim
 
 // demandGrant scales the fair share by the session's demand relative to the
 // mean demand of the contending set. Sessions that have not recorded a
-// query yet weigh as the neutral 1.0.
+// query yet weigh as the neutral 1.0. With class priorities set, each
+// session's demand weight is additionally scaled by its priority.
 func (a *Arbiter) demandGrant(session int, contenders []int, window time.Duration, active int) time.Duration {
 	mine := a.weightOf(session)
 	total := mine
@@ -182,20 +195,70 @@ func (a *Arbiter) demandGrant(session int, contenders []int, window time.Duratio
 	return time.Duration(float64(window) * mine / total)
 }
 
+// priorityShare is the class-weighted fair share: window × (my priority /
+// total active priority). Only reached when some priority differs from 1.
+func (a *Arbiter) priorityShare(session int, contenders []int, window time.Duration, active int) time.Duration {
+	mine := a.priorityOf(session)
+	total := mine
+	for _, c := range contenders {
+		total += a.priorityOf(c)
+	}
+	if total <= 0 {
+		return window / time.Duration(active)
+	}
+	return time.Duration(float64(window) * mine / total)
+}
+
+// priorityOf returns a session's class priority (unset = 1.0).
+func (a *Arbiter) priorityOf(session int) float64 {
+	if session < 0 || session >= len(a.ledgers) {
+		return 0
+	}
+	if p := a.ledgers[session].priority; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// SetPriority installs a session's workload-class weight (≤0 is normalized
+// to 1). Priorities scale budget shares under FairShare (weighted fair
+// share), DemandWeighted (demand × priority) and StarvedFirst (the
+// throttled share); Unarbitrated ignores them. With every priority at the
+// neutral 1 the arbiter's arithmetic is bit-exact with the unweighted seed.
+func (a *Arbiter) SetPriority(session int, w float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if session < 0 || session >= len(a.ledgers) {
+		return
+	}
+	if w <= 0 {
+		w = 1
+	}
+	a.ledgers[session].priority = w
+	if w != 1 {
+		a.weighted = true
+	}
+}
+
 // weightOf returns a session's demand weight: its miss-page EWMA, floored
-// so a fully warm session still makes progress, or 1.0 before any Record.
+// so a fully warm session still makes progress, or 1.0 before any Record —
+// scaled by the session's class priority when one is set.
 func (a *Arbiter) weightOf(session int) float64 {
 	if session < 0 || session >= len(a.ledgers) {
 		return 0
 	}
 	l := a.ledgers[session]
-	if l.queries == 0 {
-		return 1
+	w := 1.0
+	if l.queries != 0 {
+		w = l.demand
+		if w < 0.1 {
+			w = 0.1
+		}
 	}
-	if l.demand < 0.1 {
-		return 0.1
+	if a.weighted {
+		w *= a.priorityOf(session)
 	}
-	return l.demand
+	return w
 }
 
 // starvedGrant finds the lowest recent hit rate among the contending set;
@@ -212,6 +275,10 @@ func (a *Arbiter) starvedGrant(session int, contenders []int, window time.Durati
 	const tieTol = 1e-9
 	if a.hitOf(session) <= min+tieTol {
 		return window
+	}
+	if a.weighted {
+		// Throttled sessions split half the window by class priority.
+		return a.priorityShare(session, contenders, window, active) / 2
 	}
 	return window / time.Duration(2*active)
 }

@@ -198,3 +198,76 @@ func TestSheddingReturnsBudgetToPool(t *testing.T) {
 	a.SetShedding(-1, true)
 	a.SetShedding(99, true)
 }
+
+// TestArbiterPriorityWeightsShares: class priorities scale the fair share —
+// a weight-3 session takes 3/4 of a two-way window, its weight-1 contender
+// the remaining 1/4 — and the StarvedFirst throttle splits by priority too.
+func TestArbiterPriorityWeightsShares(t *testing.T) {
+	a := NewArbiter(FairShare, 2)
+	a.SetPriority(0, 3)
+	w := 100 * time.Millisecond
+	if got := a.Grant(0, []int{1}, w); got != 75*time.Millisecond {
+		t.Errorf("weight-3 share = %v, want 75ms", got)
+	}
+	if got := a.Grant(1, []int{0}, w); got != 25*time.Millisecond {
+		t.Errorf("weight-1 share = %v, want 25ms", got)
+	}
+	// Uncontended, even a weighted session gets the full window.
+	if got := a.Grant(1, nil, w); got != w {
+		t.Errorf("uncontended weighted grant = %v, want full window", got)
+	}
+
+	s := NewArbiter(StarvedFirst, 2)
+	s.SetPriority(0, 3)
+	for i := 0; i < 10; i++ {
+		s.Record(0, 100, 90, 0) // warm: throttled
+		s.Record(1, 100, 10, 0) // starved: full window
+	}
+	if got := s.Grant(1, []int{0}, w); got != w {
+		t.Errorf("starved session granted %v, want full window", got)
+	}
+	// Throttled share = priorityShare/2 = (100ms × 3/4)/2.
+	if got := s.Grant(0, []int{1}, w); got != 37500*time.Microsecond {
+		t.Errorf("throttled weight-3 share = %v, want 37.5ms", got)
+	}
+}
+
+// TestArbiterNeutralPriorityBitExact: setting every priority to 1 (or an
+// out-of-range / non-positive weight) must leave the integer-division grant
+// arithmetic untouched — the weighted float paths only engage when some
+// priority differs from 1.
+func TestArbiterNeutralPriorityBitExact(t *testing.T) {
+	plain := NewArbiter(FairShare, 3)
+	tuned := NewArbiter(FairShare, 3)
+	tuned.SetPriority(0, 1)
+	tuned.SetPriority(1, -5) // normalized to 1
+	tuned.SetPriority(99, 7) // out of range: ignored
+	w := 100 * time.Millisecond
+	for s := 0; s < 3; s++ {
+		want := plain.Grant(s, []int{(s + 1) % 3, (s + 2) % 3}, w)
+		got := tuned.Grant(s, []int{(s + 1) % 3, (s + 2) % 3}, w)
+		if want != got {
+			t.Errorf("session %d: neutral priorities drifted the grant: %v vs %v", s, got, want)
+		}
+		if want != w/3 {
+			t.Errorf("session %d: fair share = %v, want %v", s, want, w/3)
+		}
+	}
+}
+
+// TestArbiterPriorityDemandWeighted: under DemandWeighted the priority
+// multiplies the demand EWMA, so equal-demand sessions split by class weight.
+func TestArbiterPriorityDemandWeighted(t *testing.T) {
+	a := NewArbiter(DemandWeighted, 2)
+	a.SetPriority(0, 4)
+	for i := 0; i < 10; i++ {
+		a.Record(0, 100, 0, 0)
+		a.Record(1, 100, 0, 0)
+	}
+	w := 100 * time.Millisecond
+	heavy := a.Grant(0, []int{1}, w)
+	light := a.Grant(1, []int{0}, w)
+	if heavy != 80*time.Millisecond || light != 20*time.Millisecond {
+		t.Errorf("weighted demand split = %v/%v, want 80ms/20ms", heavy, light)
+	}
+}

@@ -1,0 +1,206 @@
+// Open-loop traffic generation for the serving path (DESIGN.md §11): the
+// closed-loop Serve of PR 3 starts every session at virtual time zero and
+// runs it to completion, so session count IS offered load. An open-loop run
+// instead draws each session's arrival time from a seeded stochastic
+// process, so offered load (sessions per simulated second) sweeps
+// independently of the population and the system can be driven past its
+// saturation knee — the capacity-planning story closed-loop scaling curves
+// cannot tell. Generation is a pure, sequential function of the config, so
+// open-loop serves stay byte-identical for any plan-phase worker count.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess selects the open-loop generator's arrival process.
+type ArrivalProcess int
+
+const (
+	// Poisson draws i.i.d. exponential interarrival gaps at the configured
+	// rate — the memoryless baseline of every queueing model.
+	Poisson ArrivalProcess = iota
+	// Bursty groups arrivals into simultaneous bursts (think a lab starting
+	// a demo, or a lecture hall opening the same model): bursts of
+	// BurstSize sessions arrive together, with exponential gaps between
+	// bursts scaled so the long-run offered rate matches Rate.
+	Bursty
+)
+
+// String names the process as the -arrivals flag spells it.
+func (p ArrivalProcess) String() string {
+	if p == Bursty {
+		return "bursty"
+	}
+	return "poisson"
+}
+
+// ArrivalProcesses returns every process, in flag order.
+func ArrivalProcesses() []ArrivalProcess { return []ArrivalProcess{Poisson, Bursty} }
+
+// ArrivalProcessNames lists the -arrivals spellings for usage messages.
+func ArrivalProcessNames() []string {
+	var names []string
+	for _, p := range ArrivalProcesses() {
+		names = append(names, p.String())
+	}
+	return names
+}
+
+// ParseArrivalProcess resolves a -arrivals flag value.
+func ParseArrivalProcess(s string) (ArrivalProcess, error) {
+	for _, p := range ArrivalProcesses() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown arrival process %q (want poisson or bursty)", s)
+}
+
+// ArrivalConfig parameterizes Serve's open-loop session generator. The zero
+// value (Enabled false) keeps the closed-loop seed behavior byte-exactly:
+// every session present at time zero, no churn, no lost-query accounting.
+type ArrivalConfig struct {
+	// Enabled turns the open-loop generator on.
+	Enabled bool
+	// Process selects the arrival process (default Poisson).
+	Process ArrivalProcess
+	// Rate is the offered load in session arrivals per simulated second
+	// (default 8).
+	Rate float64
+	// BurstSize is the sessions per burst under Bursty (default 4).
+	BurstSize int
+	// Seed keys the arrival draws. Like the fault seed, arrivals hash
+	// through their own generator, so sharing the workload seed does not
+	// correlate arrival times with trajectories.
+	Seed int64
+	// Times, when non-empty, is an explicit arrival schedule overriding
+	// Process/Rate: session i arrives at Times[i] (sessions past the end
+	// reuse the last entry). For tests and trace replay.
+	Times []time.Duration
+}
+
+// withDefaults fills zero tuning fields of an enabled config.
+func (c ArrivalConfig) withDefaults() ArrivalConfig {
+	if c.Rate <= 0 {
+		c.Rate = 8
+	}
+	if c.BurstSize <= 0 {
+		c.BurstSize = 4
+	}
+	return c
+}
+
+// ArrivalTimes generates the deterministic arrival time of each of n
+// sessions, in session-ID order (which is also nondecreasing time order).
+// The draw sequence depends only on the config and n — never on workers,
+// policy or the commit loop — so the schedule is byte-identical across runs.
+func (c ArrivalConfig) ArrivalTimes(n int) []time.Duration {
+	c = c.withDefaults()
+	out := make([]time.Duration, n)
+	if len(c.Times) > 0 {
+		for i := range out {
+			j := i
+			if j >= len(c.Times) {
+				j = len(c.Times) - 1
+			}
+			out[i] = c.Times[j]
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var t float64
+	switch c.Process {
+	case Bursty:
+		// Gaps between bursts are exponential at Rate/BurstSize, so the
+		// long-run session rate is still Rate; everyone in a burst lands on
+		// the same instant.
+		for i := 0; i < n; {
+			t += expGap(rng, c.Rate/float64(c.BurstSize))
+			for k := 0; k < c.BurstSize && i < n; k++ {
+				out[i] = secondsToDuration(t)
+				i++
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			t += expGap(rng, c.Rate)
+			out[i] = secondsToDuration(t)
+		}
+	}
+	return out
+}
+
+// expGap draws one exponential interarrival gap (seconds) at the given rate
+// by inverse CDF.
+func expGap(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	// 1-u is in (0, 1]; Log of it is finite, so the gap always is too.
+	return -math.Log(1-rng.Float64()) / rate
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// ClassSpec defines one workload class of a mixed-traffic serve: its
+// prefetch-budget priority in the arbiter, its abandonment patience, and an
+// optional class-specific SLO. Sessions bind to a class via
+// SessionWorkload.Class (an index into ServeConfig.Classes); an
+// out-of-range index, or a nil Classes slice, means the neutral default
+// (weight 1, no patience, the global SLO).
+type ClassSpec struct {
+	// Name labels the class in results and experiment tables.
+	Name string
+	// Weight is the class's prefetch-budget priority (≤0 means 1): the
+	// arbiter scales budget shares by weight, so a weight-2 class gets
+	// twice a weight-1 contender's share of every contended window.
+	// Demand reads are never prioritized — only prefetch is elastic.
+	Weight float64
+	// Patience is the per-query abandonment threshold under open-loop
+	// arrivals: a session whose response exceeds it abandons, forfeiting
+	// the rest of its trajectory (counted as lost queries). 0 = infinite
+	// patience. Ignored when the open-loop generator is disabled.
+	Patience time.Duration
+	// SLO overrides ServeConfig.SLO for this class's queries (0 inherits).
+	SLO time.Duration
+}
+
+// weight returns the spec's normalized priority.
+func (c ClassSpec) weight() float64 {
+	if c.Weight <= 0 {
+		return 1
+	}
+	return c.Weight
+}
+
+// ClassResult aggregates one workload class's outcomes over a serve.
+type ClassResult struct {
+	Name     string
+	Sessions int
+	// Rejected / Abandoned count this class's admission rejections and
+	// patience abandonments.
+	Rejected  int
+	Abandoned int
+	// Counted is the class's served counted queries (its share of the
+	// pooled response samples); SLOViolations its violations; LostQueries
+	// the counted-query slots forfeited by rejection or abandonment.
+	Counted       int64
+	SLOViolations int64
+	LostQueries   int64
+}
+
+// SLORate returns the class's SLO-violation rate with lost queries counted
+// as violations, mirroring ServeResult.SLORate.
+func (c ClassResult) SLORate() float64 {
+	n := c.Counted + c.LostQueries
+	if n == 0 {
+		return 0
+	}
+	return float64(c.SLOViolations+c.LostQueries) / float64(n)
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestArrivalTimesDeterministic: the schedule is a pure function of the
+// config and n — identical across calls, distinct across seeds.
+func TestArrivalTimesDeterministic(t *testing.T) {
+	cfg := ArrivalConfig{Enabled: true, Rate: 50, Seed: 7}
+	a := cfg.ArrivalTimes(64)
+	b := cfg.ArrivalTimes(64)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg.Seed = 8
+	c := cfg.ArrivalTimes(64)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalTimesPoisson: gaps are strictly positive (so times strictly
+// increase) and the empirical mean interarrival is near 1/Rate.
+func TestArrivalTimesPoisson(t *testing.T) {
+	cfg := ArrivalConfig{Enabled: true, Process: Poisson, Rate: 100, Seed: 7}
+	times := cfg.ArrivalTimes(2000)
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("arrival %d (%v) not after %d (%v)", i, times[i], i-1, times[i-1])
+		}
+	}
+	mean := times[len(times)-1].Seconds() / float64(len(times))
+	if mean < 0.005 || mean > 0.02 { // 1/rate = 10ms
+		t.Errorf("mean interarrival %vs, want ~0.01s", mean)
+	}
+}
+
+// TestArrivalTimesBursty: arrivals land in bursts of BurstSize identical
+// instants, with the long-run rate preserved.
+func TestArrivalTimesBursty(t *testing.T) {
+	cfg := ArrivalConfig{Enabled: true, Process: Bursty, Rate: 100, BurstSize: 4, Seed: 7}
+	times := cfg.ArrivalTimes(400)
+	for i := 0; i < len(times); i += 4 {
+		for k := 1; k < 4; k++ {
+			if times[i+k] != times[i] {
+				t.Fatalf("burst at %d not simultaneous: %v vs %v", i, times[i+k], times[i])
+			}
+		}
+		if i > 0 && times[i] <= times[i-1] {
+			t.Fatalf("burst %d did not advance time", i/4)
+		}
+	}
+	mean := times[len(times)-1].Seconds() / float64(len(times))
+	if mean < 0.005 || mean > 0.02 {
+		t.Errorf("bursty mean interarrival %vs, want ~0.01s", mean)
+	}
+}
+
+// TestArrivalTimesExplicit: a Times schedule overrides the process, with
+// sessions past the end reusing the last entry.
+func TestArrivalTimesExplicit(t *testing.T) {
+	cfg := ArrivalConfig{Enabled: true, Times: []time.Duration{0, time.Second, 3 * time.Second}}
+	got := cfg.ArrivalTimes(5)
+	want := []time.Duration{0, time.Second, 3 * time.Second, 3 * time.Second, 3 * time.Second}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("explicit schedule = %v, want %v", got, want)
+	}
+}
+
+// TestParseArrivalProcess round-trips every process and rejects junk.
+func TestParseArrivalProcess(t *testing.T) {
+	for _, p := range ArrivalProcesses() {
+		got, err := ParseArrivalProcess(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseArrivalProcess(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseArrivalProcess("steady"); err == nil {
+		t.Error("ParseArrivalProcess accepted junk")
+	}
+}
+
+// TestClassSpecWeight: non-positive weights normalize to the neutral 1.
+func TestClassSpecWeight(t *testing.T) {
+	if w := (ClassSpec{}).weight(); w != 1 {
+		t.Errorf("zero-value weight = %v, want 1", w)
+	}
+	if w := (ClassSpec{Weight: -2}).weight(); w != 1 {
+		t.Errorf("negative weight = %v, want 1", w)
+	}
+	if w := (ClassSpec{Weight: 2.5}).weight(); w != 2.5 {
+		t.Errorf("weight = %v, want 2.5", w)
+	}
+}
+
+// TestClassResultSLORate: lost queries enter the denominator and count as
+// violations, mirroring ServeResult.SLORate.
+func TestClassResultSLORate(t *testing.T) {
+	c := ClassResult{Counted: 6, SLOViolations: 1, LostQueries: 2}
+	if got, want := c.SLORate(), 3.0/8.0; got != want {
+		t.Errorf("SLORate = %v, want %v", got, want)
+	}
+	if (ClassResult{}).SLORate() != 0 {
+		t.Error("empty class has nonzero SLO rate")
+	}
+}

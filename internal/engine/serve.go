@@ -42,6 +42,10 @@ import (
 type SessionWorkload struct {
 	Sequences  []workload.Sequence
 	Prefetcher prefetch.Prefetcher
+	// Class is the session's workload-class index into ServeConfig.Classes
+	// (out of range — including the zero value with no classes configured —
+	// means the neutral default class).
+	Class int
 }
 
 // ServeConfig parameterizes a multi-session run.
@@ -82,14 +86,39 @@ type ServeConfig struct {
 	// PREFETCH windows (never demand reads) when a session's fault
 	// evidence EWMA trips. The zero value disables it.
 	Breaker BreakerConfig
-	// Admission gates new sessions at their first commit step: over the
-	// concurrency ceiling they are rejected outright or admitted degraded
-	// (prefetch permanently shed). The zero value disables it.
+	// Admission gates new sessions at arrival — their first commit step,
+	// which under open-loop arrivals happens at the generated arrival time:
+	// over the concurrency ceiling they are rejected outright or admitted
+	// degraded (prefetch permanently shed). The zero value disables it.
+	// With the open-loop generator enabled, a rejected session's counted
+	// queries are charged to LostQueries (they enter the SLO-rate
+	// denominator as violations); closed-loop rejection keeps the seed's
+	// skip-silently accounting byte-exactly.
 	Admission AdmissionConfig
 	// SLO is the per-query response-time objective: counted queries whose
 	// response (residual I/O plus injected stalls) exceeds it are SLO
-	// violations. 0 disables SLO accounting.
+	// violations. 0 disables SLO accounting. A session's class can
+	// override it (ClassSpec.SLO).
 	SLO time.Duration
+	// Arrivals configures the open-loop session generator (DESIGN.md §11):
+	// seeded Poisson or bursty arrival times, so offered load sweeps
+	// independently of session count. The zero value keeps the closed-loop
+	// seed behavior byte-exactly: every session present at time zero.
+	Arrivals ArrivalConfig
+	// Classes defines the workload classes sessions bind to via
+	// SessionWorkload.Class: per-class prefetch-budget priorities in the
+	// arbiter, per-class SLOs, and per-class abandonment patience under
+	// open-loop arrivals. Nil means one neutral class (the seed behavior).
+	Classes []ClassSpec
+}
+
+// classSpec resolves a session's class (normalized weight), reporting
+// whether one is configured.
+func (c ServeConfig) classSpec(idx int) (ClassSpec, bool) {
+	if idx < 0 || idx >= len(c.Classes) {
+		return ClassSpec{}, false
+	}
+	return c.Classes[idx], true
 }
 
 // AdmissionConfig parameterizes Serve's admission control. Under fault
@@ -142,6 +171,15 @@ type SessionResult struct {
 	// prefetch permanently shed.
 	Rejected bool
 	Degraded bool
+	// Class is the session's workload-class index; Arrival its open-loop
+	// arrival time (0 under closed loop). Abandoned marks a session that
+	// gave up mid-trajectory after a response exceeded its class patience;
+	// LostQueries counts the counted-query slots it (or a rejection)
+	// forfeited — open-loop accounting only.
+	Class       int
+	Arrival     time.Duration
+	Abandoned   bool
+	LostQueries int64
 	// FaultRetries / TimedOutReads are the session's share of the shared
 	// disk's fault recoveries; ShardStalls counts its lookups that hit a
 	// stalled cache shard.
@@ -202,9 +240,20 @@ type ServeResult struct {
 	// RejectedSessions / DegradedSessions count admission outcomes.
 	RejectedSessions int
 	DegradedSessions int
-	// SLOViolations counts counted queries whose response exceeded
+	// SLOViolations counts counted queries whose response exceeded the
+	// effective SLO — the session's class SLO when set, else
 	// ServeConfig.SLO (0 when no SLO was set).
 	SLOViolations int64
+	// Open-loop churn ledger (all zero with the generator disabled — the
+	// closed-loop seed accounting). AbandonedSessions counts sessions that
+	// gave up after a response exceeded their class patience; LostQueries
+	// the counted-query slots forfeited by rejections and abandonments,
+	// which SLORate charges as violations.
+	AbandonedSessions int
+	LostQueries       int64
+	// Classes aggregates per-class outcomes when ServeConfig.Classes is
+	// set (nil otherwise).
+	Classes []ClassResult
 }
 
 // CountedQueries returns the number of counted queries served (the pooled
@@ -218,12 +267,26 @@ func (r ServeResult) CountedQueries() int64 {
 }
 
 // SLORate returns the fraction of counted queries that violated the SLO.
+// Under open-loop arrivals the denominator includes lost queries (rejected
+// or abandoned trajectories' counted slots) and charges each as a
+// violation: a query the system refused to serve cannot count as meeting
+// its objective. Closed-loop runs have LostQueries 0, so the seed's rate is
+// unchanged bit-for-bit.
 func (r ServeResult) SLORate() float64 {
-	n := r.CountedQueries()
+	n := r.CountedQueries() + r.LostQueries
 	if n == 0 {
 		return 0
 	}
-	return float64(r.SLOViolations) / float64(n)
+	return float64(r.SLOViolations+r.LostQueries) / float64(n)
+}
+
+// AbandonRate returns the fraction of sessions that abandoned mid-run
+// (always 0 under closed loop).
+func (r ServeResult) AbandonRate() float64 {
+	if len(r.Sessions) == 0 {
+		return 0
+	}
+	return float64(r.AbandonedSessions) / float64(len(r.Sessions))
 }
 
 // Goodput returns SLO-meeting counted queries per simulated second — the
@@ -501,6 +564,35 @@ func (d *sharedDisk) readSweep(session int, sorted []pagestore.PageID, contender
 	return cost
 }
 
+// scrubStep advances the background integrity scrub by up to max pages
+// against the backing file, priced exactly like Disk.ScrubStep (one seek to
+// the cursor, one transfer per page, the repair price per page healed). The
+// commit loop paces steps out of idle GRANTED prefetch-window time — after
+// demand reads and planned prefetch, within the arbiter's share — so the
+// scrub never competes with demand reads or other sessions' windows, and a
+// shed window (breaker open, degraded admission, starved arbiter) scrubs
+// nothing. The cost is charged to the scrub ledger only: it occupies window
+// time the session was idle for anyway, so it never extends busyUntil and
+// never shows up as seek interference to contenders.
+func (d *sharedDisk) scrubStep(max int) {
+	if d.backing == nil || max <= 0 {
+		return
+	}
+	start := time.Now()
+	rep := d.backing.Scrub(max)
+	d.stats.WallRead += time.Since(start)
+	if rep.Scanned == 0 {
+		return
+	}
+	cost := d.model.Seek + time.Duration(rep.Scanned)*d.model.Transfer +
+		time.Duration(rep.Repaired)*(d.model.Seek+2*d.model.Transfer)
+	d.stats.ScrubbedPages += rep.Scanned
+	d.stats.CorruptPages += rep.Corrupt
+	d.stats.RepairedPages += rep.Repaired
+	d.stats.ScrubIO += cost
+	d.stats.SimulatedIO += cost
+}
+
 // cacheCapacity sizes the prefetch cache; Engine.New and the serving
 // layer's commit phase both use it, so single- and multi-session caches
 // can never drift apart.
@@ -545,6 +637,32 @@ type SessionPlans struct {
 	index Index
 	cost  pagestore.CostModel
 	steps [][]step
+	// classes carries each session's workload-class index into the commit
+	// phase (class binding is part of the workload, not the config, so one
+	// plan set commits under many class configurations).
+	classes []int
+}
+
+// class returns session i's workload-class index (0 out of range, which is
+// also the neutral default class).
+func (p *SessionPlans) class(i int) int {
+	if i < 0 || i >= len(p.classes) {
+		return 0
+	}
+	return p.classes[i]
+}
+
+// countedSteps counts the counted-query slots in a step suffix — the
+// queries a rejection or abandonment forfeits from the SLO denominator.
+func countedSteps(steps []step, skipFirst bool) int64 {
+	var n int64
+	for _, st := range steps {
+		if skipFirst && st.queryIdx == 0 {
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // PlanSessions runs the plan phase only: each session's prefetcher runs
@@ -555,7 +673,10 @@ func PlanSessions(store *pagestore.Store, index Index, workloads []SessionWorklo
 		cost = pagestore.DefaultCostModel()
 	}
 	n := len(workloads)
-	plans := &SessionPlans{store: store, index: index, cost: cost, steps: make([][]step, n)}
+	plans := &SessionPlans{store: store, index: index, cost: cost, steps: make([][]step, n), classes: make([]int, n)}
+	for i := range workloads {
+		plans.classes[i] = workloads[i].Class
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -650,6 +771,23 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	if adm.Enabled {
 		adm = adm.withDefaults()
 	}
+	// Open-loop arrivals: each session's clock starts at its generated
+	// arrival time, so the event loop interleaves arrivals, departures and
+	// in-flight sessions in true virtual-time order — admission sees the
+	// contender set at arrival, not at a synthetic time zero. Disabled, all
+	// arrivals are zero and the loop is the closed-loop seed bit-for-bit.
+	openLoop := cfg.Arrivals.Enabled
+	var arrivals []time.Duration
+	if openLoop {
+		arrivals = cfg.Arrivals.ArrivalTimes(n)
+	}
+	// Class priorities reach the arbiter before any grant; with no classes
+	// (or all-neutral weights) the arbiter arithmetic stays bit-exact.
+	for i := 0; i < n; i++ {
+		if cs, ok := cfg.classSpec(p.class(i)); ok {
+			arb.SetPriority(i, cs.weight())
+		}
+	}
 
 	type sessState struct {
 		now       time.Duration
@@ -661,7 +799,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	}
 	states := make([]*sessState, n)
 	for i := range states {
-		states[i] = &sessState{out: SessionResult{Session: i}}
+		states[i] = &sessState{out: SessionResult{Session: i, Class: p.class(i)}}
+		if openLoop {
+			states[i].now = arrivals[i]
+			states[i].out.Arrival = arrivals[i]
+		}
 	}
 
 	res := ServeResult{}
@@ -696,10 +838,14 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			}
 		}
 
-		// Admission: a session's first commit step is where it "arrives". At
-		// or over the ceiling it is rejected (its whole trajectory skipped —
-		// zero queries, zero disk time) or, with Degrade, admitted with
-		// prefetch permanently shed.
+		// Admission: a session's first commit step is where it "arrives" —
+		// under open-loop arrivals that step happens at the generated
+		// arrival time, so the gate sees the true in-flight set at arrival.
+		// At or over the ceiling it is rejected (its whole trajectory
+		// skipped — zero queries, zero disk time) or, with Degrade, admitted
+		// with prefetch permanently shed. An open-loop rejection is not
+		// silent: the trajectory's counted-query slots are charged to
+		// LostQueries, so the SLO and goodput story keeps its denominator.
 		if adm.Enabled && !ss.admitted {
 			ss.admitted = true
 			if len(contBuf) >= adm.MaxConcurrent {
@@ -710,6 +856,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				} else {
 					ss.out.Rejected = true
 					res.RejectedSessions++
+					if openLoop {
+						lost := countedSteps(plans[s][ss.stepIdx:], cfg.Engine.SkipFirstQuery)
+						ss.out.LostQueries += lost
+						res.LostQueries += lost
+					}
 					ss.stepIdx = len(plans[s])
 					continue
 				}
@@ -777,6 +928,7 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		if !st.predictionHidden {
 			budget -= st.prediction
 		}
+		var grantTime time.Duration
 		if !st.last && budget > 0 {
 			// The prefetch window: shed it when the session is degraded or
 			// its breaker is open (the budget share returns to the arbiter
@@ -800,6 +952,7 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				res.StarvedWindows++
 			} else {
 				grant := arb.Grant(s, contBuf, budget)
+				grantTime = grant
 				if grant > 0 {
 					if cfg.Engine.BatchedIO {
 						tr.Prefetched, tr.PrefetchIO = commitPlanBatched(caches[s], disk, s, st, grant, len(contBuf), &batchBuf, t)
@@ -810,6 +963,22 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			}
 		}
 		arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
+
+		// Background scrub, paced from the idle remainder of the session's
+		// GRANTED window: arbiter-aware (only the session's own share is
+		// spent) and shedding-aware (a shed, starved or degraded window has
+		// grantTime 0 and scrubs nothing). Page count is additionally capped
+		// so the scrub's transfer time fits the leftover grant.
+		if cfg.Engine.ScrubPages > 0 && disk.backing != nil && grantTime > tr.PrefetchIO {
+			leftover := grantTime - tr.PrefetchIO
+			maxPages := cfg.Engine.ScrubPages
+			if tx := disk.model.Transfer; tx > 0 {
+				if byTime := int(leftover / tx); byTime < maxPages {
+					maxPages = byTime
+				}
+			}
+			disk.scrubStep(maxPages)
+		}
 
 		qRetries := disk.stats.FaultRetries - preRetries
 		qTimeouts := disk.stats.TimedOutReads - preTimeouts
@@ -836,7 +1005,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				ss.cur.DeltaBuilds++
 			}
 			ss.out.Responses = append(ss.out.Responses, tr.Residual)
-			if cfg.SLO > 0 && tr.Residual > cfg.SLO {
+			slo := cfg.SLO
+			if cs, ok := cfg.classSpec(ss.out.Class); ok && cs.SLO > 0 {
+				slo = cs.SLO
+			}
+			if slo > 0 && tr.Residual > slo {
 				ss.out.SLOViolations++
 				res.SLOViolations++
 			}
@@ -851,6 +1024,20 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		if st.last {
 			ss.out.Sequences = append(ss.out.Sequences, ss.cur)
 			ss.cur = SequenceResult{}
+		} else if openLoop {
+			// Patience: an open-loop session whose response blew past its
+			// class patience gives up — the rest of its trajectory is
+			// forfeited as lost queries and its partial sequence is flushed.
+			if cs, ok := cfg.classSpec(ss.out.Class); ok && cs.Patience > 0 && tr.Residual > cs.Patience {
+				lost := countedSteps(plans[s][ss.stepIdx:], cfg.Engine.SkipFirstQuery)
+				ss.out.LostQueries += lost
+				res.LostQueries += lost
+				ss.out.Abandoned = true
+				res.AbandonedSessions++
+				ss.out.Sequences = append(ss.out.Sequences, ss.cur)
+				ss.cur = SequenceResult{}
+				ss.stepIdx = len(plans[s])
+			}
 		}
 	}
 
@@ -872,6 +1059,28 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			res.Cache.Misses += st.Misses
 			res.Cache.Inserted += st.Inserted
 			res.Cache.Evictions += st.Evictions
+		}
+	}
+	if len(cfg.Classes) > 0 {
+		res.Classes = make([]ClassResult, len(cfg.Classes))
+		for i := range res.Classes {
+			res.Classes[i].Name = cfg.Classes[i].Name
+		}
+		for _, s := range res.Sessions {
+			if s.Class < 0 || s.Class >= len(res.Classes) {
+				continue // unbound session: neutral default class, not aggregated
+			}
+			c := &res.Classes[s.Class]
+			c.Sessions++
+			if s.Rejected {
+				c.Rejected++
+			}
+			if s.Abandoned {
+				c.Abandoned++
+			}
+			c.Counted += int64(len(s.Responses))
+			c.SLOViolations += s.SLOViolations
+			c.LostQueries += s.LostQueries
 		}
 	}
 	res.Disk = disk.stats

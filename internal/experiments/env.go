@@ -112,6 +112,21 @@ type Options struct {
 	// hardened default. The dur1 experiment interprets it differently: it
 	// sweeps all three modes unless this pins one.
 	Checksum string
+	// Arrivals selects the load1 experiment's open-loop arrival process —
+	// "poisson" or "bursty" (scoutbench -arrivals A). Empty means poisson.
+	// No other experiment generates open-loop traffic.
+	Arrivals string
+	// Rate pins load1's offered-load sweep to a single multiplier of the
+	// calibrated closed-loop capacity when positive (scoutbench -rate R;
+	// 0 = the full 0.5×–8× sweep).
+	Rate float64
+	// Classes selects load1's workload-class mix — "mixed" (model-building
+	// walks, scan-heavy users and teleporting users with distinct arbiter
+	// priorities) or "uniform" (one neutral class). Empty means mixed.
+	Classes string
+	// Patience overrides load1's abandonment patience (scoutbench
+	// -patience; 0 = 2× the derived SLO, which keeps it scale-free).
+	Patience time.Duration
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
