@@ -111,6 +111,13 @@ func main() {
 			base.Classes, fresh.Classes, base.PatienceMS, fresh.PatienceMS)
 		os.Exit(2)
 	}
+	// A pinned shard count changes shard1 from a 1..16 sweep to a single
+	// column — different work entirely, so the comparison is void.
+	if base.Shards != fresh.Shards {
+		fmt.Fprintf(os.Stderr, "benchdiff: shard configuration mismatch (shards %d vs %d) — comparison void\n",
+			base.Shards, fresh.Shards)
+		os.Exit(2)
+	}
 	// File-backend wall clocks include real I/O, which is far noisier across
 	// CI runners than compute time — widen the noise floor. Seeks still come
 	// off the virtual clock and keep their exact, floorless gate.

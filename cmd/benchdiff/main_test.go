@@ -109,6 +109,28 @@ func TestArrivalDefaultsComparable(t *testing.T) {
 	}
 }
 
+// TestShardConfigMismatchVoids: a pinned shard count turns shard1 from a
+// full sweep into a single column — comparing the two must be void (exit 2),
+// and two runs pinned to the same count must stay comparable.
+func TestShardConfigMismatchVoids(t *testing.T) {
+	fresh := bench(50)
+	fresh.Shards = 8
+	out, code := runBenchdiff(t, bench(50), fresh)
+	if code != 2 {
+		t.Fatalf("mismatched shard counts exited %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "shard configuration mismatch") {
+		t.Errorf("output missing the void reason:\n%s", out)
+	}
+
+	base := bench(50)
+	base.Shards = 8
+	out, code = runBenchdiff(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("matching pinned shard counts voided the comparison (exit %d):\n%s", code, out)
+	}
+}
+
 // TestP999Gate pins the deterministic p999 gate: regressions beyond the
 // tolerance fail (exit 1), improvements and in-tolerance drift pass, and a
 // fresh run that silently drops the metric fails — a disarmed gate is a

@@ -20,6 +20,7 @@
 //	scoutbench -exp fig3 -backend file   # durable checksummed page file
 //	scoutbench -exp dur1 -checksum repair  # pin dur1's integrity-mode sweep
 //	scoutbench -exp load1 -arrivals bursty -rate 4  # open-loop sweep, one load point
+//	scoutbench -exp shard1 -shards 8  # sharded engine, one shard count
 //	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
@@ -61,6 +62,7 @@ func main() {
 		rate       = flag.Float64("rate", 0, "pin load1's offered-load sweep to one multiplier of the calibrated capacity (0 = full 0.5x..8x sweep)")
 		classes    = flag.String("classes", "", "load1's workload class mix: mixed or uniform (empty = mixed: model/scan/teleport)")
 		patience   = flag.Duration("patience", 0, "load1's base abandonment patience (0 = 2x the derived SLO)")
+		shards     = flag.Int("shards", 0, "pin shard1's shard-count sweep to one count (0 = full sweep; no other experiment shards)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -134,6 +136,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scoutbench: negative -patience %v\nusage: -patience takes a non-negative duration (e.g. 100ms; 0 = 2x the derived SLO)\n", *patience)
 		os.Exit(2)
 	}
+	if _, err := experiments.ParseShardCount(*shards); err != nil {
+		fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -shards takes one of: %s (0 = full sweep)\n",
+			err, strings.Join(shardCountNames(), ", "))
+		os.Exit(2)
+	}
 	// The file backend needs somewhere writable before any experiment runs:
 	// probe the directory up front so a read-only -backenddir is a clear
 	// usage error, not a panic from deep inside dataset setup.
@@ -161,7 +168,8 @@ func main() {
 		Sessions: *sessions, Policy: *policy, Layout: *layout,
 		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo,
 		Backend: *backend, BackendDir: *backendDir, Checksum: *checksum,
-		Arrivals: *arrivals, Rate: *rate, Classes: *classes, Patience: *patience}
+		Arrivals: *arrivals, Rate: *rate, Classes: *classes, Patience: *patience,
+		Shards: *shards}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -230,7 +238,7 @@ func main() {
 	// -faults/-faultseed/-slo only rob*; stamping them into the JSON for a
 	// run without those experiments would make benchdiff void comparisons
 	// between configurations that are actually identical.
-	hasMu, hasRob, hasLoad := false, false, false
+	hasMu, hasRob, hasLoad, hasShard := false, false, false, false
 	for _, e := range toRun {
 		if strings.HasPrefix(e.ID, "mu") || strings.HasPrefix(e.ID, "rob") {
 			hasMu = true
@@ -240,6 +248,9 @@ func main() {
 		}
 		if strings.HasPrefix(e.ID, "load") {
 			hasLoad = true
+		}
+		if strings.HasPrefix(e.ID, "shard") {
+			hasShard = true
 		}
 	}
 	out := benchfmt.File{
@@ -276,6 +287,12 @@ func main() {
 			out.Classes = *classes
 		}
 		out.PatienceMS = float64(patience.Microseconds()) / 1000
+	}
+	// -shards only pins shard1's shard-count sweep; 0 IS the default (full
+	// sweep), and omitempty drops it, so only a real pin voids a benchdiff
+	// comparison.
+	if hasShard {
+		out.Shards = *shards
 	}
 	// "insertion" IS the default configuration: normalize it to the empty
 	// string so benchdiff never voids a comparison between two identical
@@ -366,6 +383,14 @@ func policyNames() []string {
 	var names []string
 	for _, p := range engine.Policies() {
 		names = append(names, p.String())
+	}
+	return names
+}
+
+func shardCountNames() []string {
+	var names []string
+	for _, n := range experiments.ShardCounts() {
+		names = append(names, fmt.Sprintf("%d", n))
 	}
 	return names
 }

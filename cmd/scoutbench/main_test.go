@@ -69,6 +69,10 @@ func TestUsageErrors(t *testing.T) {
 			[]string{"vip", "-classes takes one of:", "mixed", "uniform"}},
 		{"negative patience", []string{"-patience", "-10ms"},
 			[]string{"-patience", "non-negative"}},
+		{"unknown shard count", []string{"-shards", "3"},
+			[]string{"3", "-shards takes one of:", "1, 2, 4, 8, 16"}},
+		{"negative shard count", []string{"-shards", "-2"},
+			[]string{"-2", "-shards takes one of:"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,7 +96,8 @@ func TestValidFlagsPassValidation(t *testing.T) {
 	stderr, code := runScoutbench(t,
 		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms",
 		"-backend", "file", "-checksum", "repair",
-		"-arrivals", "bursty", "-rate", "4", "-classes", "uniform", "-patience", "100ms")
+		"-arrivals", "bursty", "-rate", "4", "-classes", "uniform", "-patience", "100ms",
+		"-shards", "8")
 	if code != 0 {
 		t.Fatalf("valid flags rejected (exit %d):\n%s", code, stderr)
 	}

@@ -65,6 +65,10 @@ type File struct {
 	ArrivalRate float64 `json:"arrival_rate,omitempty"`
 	Classes     string  `json:"classes,omitempty"`
 	PatienceMS  float64 `json:"patience_ms,omitempty"`
+	// Shards records shard1's -shards pin (zero = the full shard-count
+	// sweep). A one-shard run and an eight-shard run exercise different
+	// fan-out physics, so benchdiff refuses to compare across shard counts.
+	Shards int `json:"shards,omitempty"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Experiments []Record `json:"experiments"`

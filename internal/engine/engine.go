@@ -93,6 +93,12 @@ type QueryTrace struct {
 	Prediction  time.Duration
 	PrefetchIO  time.Duration // window time spent reading prefetch pages
 	Prefetched  int           // pages prefetched during the window
+	// Fanout and RoutedPages are filled by the sharded engine only: the
+	// number of shards the demand set touched, and the miss pages shipped
+	// from non-home shards (each charged CostModel.Route inside Residual).
+	// Zero on the unsharded path.
+	Fanout      int
+	RoutedPages int
 }
 
 // SequenceResult aggregates one sequence's execution.

@@ -110,6 +110,19 @@ type ServeConfig struct {
 	// arbiter, per-class SLOs, and per-class abandonment patience under
 	// open-loop arrivals. Nil means one neutral class (the seed behavior).
 	Classes []ClassSpec
+	// Shards > 0 routes the commit phase through the in-process sharded
+	// backend (DESIGN.md §12): the page space splits into that many
+	// contiguous Hilbert ranges of the layout key, each owned by a shard
+	// worker with its own slice of the cache, its own per-session disk heads
+	// and its own prefetch-budget arbiter; demand reads and prefetch windows
+	// fan out across the shard workers in parallel and merge as
+	// max-over-shards service time plus a per-page routing charge
+	// (CostModel.Route) for pages shipped from non-home shards. Sharding
+	// implies the batched elevator path (Engine.BatchedIO is ignored) and is
+	// incompatible with PrivateCaches. 0 keeps the seed single-disk commit
+	// path byte-identically; Shards == 1 runs the sharded machinery and is
+	// bit-exact with the unsharded BatchedIO serve.
+	Shards int
 }
 
 // classSpec resolves a session's class (normalized weight), reporting
@@ -254,6 +267,15 @@ type ServeResult struct {
 	// Classes aggregates per-class outcomes when ServeConfig.Classes is
 	// set (nil otherwise).
 	Classes []ClassResult
+	// Sharded-backend ledger (zero/nil unless ServeConfig.Shards > 0).
+	// Shards echoes the configured shard count; ShardDisks holds each shard
+	// disk's stats in shard order (Disk is their fold); RoutedPages counts
+	// demand miss pages shipped from non-home shards and RouteCharge the
+	// total per-page routing time billed into residuals.
+	Shards      int
+	ShardDisks  []pagestore.DiskStats
+	RoutedPages int64
+	RouteCharge time.Duration
 }
 
 // CountedQueries returns the number of counted queries served (the pooled
@@ -593,6 +615,23 @@ func (d *sharedDisk) scrubStep(max int) {
 	d.stats.SimulatedIO += cost
 }
 
+// resolveCacheShards picks a shared cache's shard count: the configured
+// value, or a default of 16 halved until every shard holds at least 8 pages
+// — tiny caches (scaled-down test datasets) would otherwise quantize to ~1
+// page per shard and destroy LRU behavior. The unsharded serve cache and
+// each engine shard's cache slice both size through here, so S=1 cache
+// behavior cannot drift from the unsharded serve.
+func resolveCacheShards(capacity, configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	shards := 16
+	for shards > 1 && capacity/shards < 8 {
+		shards /= 2
+	}
+	return shards
+}
+
 // cacheCapacity sizes the prefetch cache; Engine.New and the serving
 // layer's commit phase both use it, so single- and multi-session caches
 // can never drift apart.
@@ -724,22 +763,19 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	capacity := cacheCapacity(cfg.Engine, store)
 	var shared *cache.Sharded
 	caches := make([]pageCache, n)
-	if cfg.PrivateCaches {
+	switch {
+	case cfg.Shards > 0:
+		if cfg.PrivateCaches {
+			panic("engine: ServeConfig{Shards > 0, PrivateCaches: true}: per-session private caches cannot split across shard workers")
+		}
+		// The sharded backend owns its caches; caches/shared stay nil and
+		// every use site below branches on shardSrv.
+	case cfg.PrivateCaches:
 		for i := range caches {
 			caches[i] = cache.New(capacity)
 		}
-	} else {
-		shards := cfg.CacheShards
-		if shards <= 0 {
-			// Default 16 shards, halved until every shard holds at least 8
-			// pages: tiny caches (scaled-down test datasets) would otherwise
-			// quantize to ~1 page per shard and destroy LRU behavior.
-			shards = 16
-			for shards > 1 && capacity/shards < 8 {
-				shards /= 2
-			}
-		}
-		shared = cache.NewSharded(capacity, shards)
+	default:
+		shared = cache.NewSharded(capacity, resolveCacheShards(capacity, cfg.CacheShards))
 		for i := range caches {
 			caches[i] = shared
 		}
@@ -758,6 +794,17 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	}
 	if cfg.Engine.Backing != nil {
 		disk.setBacking(cfg.Engine.Backing)
+	}
+	// Sharded backend (DESIGN.md §12): built after the faultsOn gate so the
+	// shard disks arm only when injection is live. Sharding implies the
+	// batched elevator path; the flat disk/arbiter above stay idle.
+	var shardSrv *serveShardSet
+	if cfg.Shards > 0 {
+		var shardInj *fault.Injector
+		if faultsOn {
+			shardInj = inj
+		}
+		shardSrv = newServeShardSet(store, cfg, n, capacity, shardInj)
 	}
 	brkCfg := cfg.Breaker
 	if brkCfg.Enabled {
@@ -785,7 +832,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	// (or all-neutral weights) the arbiter arithmetic stays bit-exact.
 	for i := 0; i < n; i++ {
 		if cs, ok := cfg.classSpec(p.class(i)); ok {
-			arb.SetPriority(i, cs.weight())
+			if shardSrv != nil {
+				shardSrv.setPriority(i, cs.weight())
+			} else {
+				arb.SetPriority(i, cs.weight())
+			}
 		}
 	}
 
@@ -806,7 +857,7 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		}
 	}
 
-	res := ServeResult{}
+	res := ServeResult{Shards: cfg.Shards}
 	var missBuf []pagestore.PageID
 	var contBuf []int
 	var batchBuf []pagestore.PageID
@@ -852,7 +903,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				if adm.Degrade {
 					ss.out.Degraded = true
 					res.DegradedSessions++
-					arb.SetShedding(s, true)
+					if shardSrv != nil {
+						shardSrv.setShedding(s, true)
+					} else {
+						arb.SetShedding(s, true)
+					}
 				} else {
 					ss.out.Rejected = true
 					res.RejectedSessions++
@@ -876,8 +931,12 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			}
 		}
 		// Every query starts with a cold head, exactly like the
-		// single-session engine (think time moves the head).
-		disk.resetHead(s)
+		// single-session engine (think time moves the head). The sharded
+		// backend resets the session's head on every shard inside the
+		// demand fan-out.
+		if shardSrv == nil {
+			disk.resetHead(s)
+		}
 
 		tr := QueryTrace{
 			Seq:         st.queryIdx,
@@ -891,8 +950,13 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		// Per-query fault evidence: the disk ledger's deltas over this step
 		// plus stalled-shard hits and detected corruption feed the session's
 		// breaker.
-		preRetries, preTimeouts := disk.stats.FaultRetries, disk.stats.TimedOutReads
-		preCorrupt, preRepaired := disk.stats.CorruptPages, disk.stats.RepairedPages
+		var preRetries, preTimeouts, preCorrupt, preRepaired int64
+		if shardSrv != nil {
+			preRetries, preTimeouts, preCorrupt, preRepaired = shardSrv.faultCounters()
+		} else {
+			preRetries, preTimeouts = disk.stats.FaultRetries, disk.stats.TimedOutReads
+			preCorrupt, preRepaired = disk.stats.CorruptPages, disk.stats.RepairedPages
+		}
 
 		// Demand lookups. A stalled cache shard (shared mode only — a
 		// private cache has no cross-session shard contention) charges its
@@ -900,26 +964,37 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 		// data, not behind it.
 		var stallDelay time.Duration
 		var stallEvents int64
-		missBuf = missBuf[:0]
-		for _, pg := range st.pages {
-			if faultsOn && shared != nil {
-				if d := inj.ShardStall(shared.ShardIndex(pg), t); d > 0 {
-					stallDelay += d
-					stallEvents++
+		if shardSrv != nil {
+			dm := shardSrv.demandTurn(s, st.pages, len(contBuf), t)
+			tr.HitPages = dm.hits
+			tr.Residual = dm.residual
+			tr.Fanout = dm.fanout
+			tr.RoutedPages = dm.routed
+			stallDelay, stallEvents = dm.stall, dm.stallEvents
+			res.RoutedPages += int64(dm.routed)
+			res.RouteCharge += dm.charge
+		} else {
+			missBuf = missBuf[:0]
+			for _, pg := range st.pages {
+				if faultsOn && shared != nil {
+					if d := inj.ShardStall(shared.ShardIndex(pg), t); d > 0 {
+						stallDelay += d
+						stallEvents++
+					}
+				}
+				if caches[s].Lookup(pg) {
+					tr.HitPages++
+				} else {
+					missBuf = append(missBuf, pg)
 				}
 			}
-			if caches[s].Lookup(pg) {
-				tr.HitPages++
+			if cfg.Engine.BatchedIO {
+				tr.Residual = disk.readBatch(s, missBuf, len(contBuf), t)
 			} else {
-				missBuf = append(missBuf, pg)
+				tr.Residual = disk.readPages(s, missBuf, len(contBuf), t)
 			}
+			tr.Residual += stallDelay
 		}
-		if cfg.Engine.BatchedIO {
-			tr.Residual = disk.readBatch(s, missBuf, len(contBuf), t)
-		} else {
-			tr.Residual = disk.readPages(s, missBuf, len(contBuf), t)
-		}
-		tr.Residual += stallDelay
 		ss.out.ShardStalls += stallEvents
 		res.ShardStalls += stallEvents
 		res.StallDelay += stallDelay
@@ -938,11 +1013,12 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			if ss.out.Degraded {
 				allow = false
 			} else if brkCfg.Enabled {
-				if breakers[s].allowPrefetch(t) {
-					arb.SetShedding(s, false)
+				shed := !breakers[s].allowPrefetch(t)
+				allow = !shed
+				if shardSrv != nil {
+					shardSrv.setShedding(s, shed)
 				} else {
-					allow = false
-					arb.SetShedding(s, true)
+					arb.SetShedding(s, shed)
 				}
 			}
 			if !allow {
@@ -950,6 +1026,8 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				res.ShedPrefetches++
 			} else if faultsOn && inj.BudgetStarved(t) {
 				res.StarvedWindows++
+			} else if shardSrv != nil {
+				tr.Prefetched, tr.PrefetchIO, grantTime = shardSrv.prefetchTurn(s, st, budget, contBuf, &batchBuf, t)
 			} else {
 				grant := arb.Grant(s, contBuf, budget)
 				grantTime = grant
@@ -962,28 +1040,49 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 				}
 			}
 		}
-		arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
+		if shardSrv != nil {
+			shardSrv.record(s)
+		} else {
+			arb.Record(s, tr.ResultPages, tr.HitPages, tr.PrefetchIO)
+		}
 
 		// Background scrub, paced from the idle remainder of the session's
 		// GRANTED window: arbiter-aware (only the session's own share is
 		// spent) and shedding-aware (a shed, starved or degraded window has
 		// grantTime 0 and scrubs nothing). Page count is additionally capped
 		// so the scrub's transfer time fits the leftover grant.
-		if cfg.Engine.ScrubPages > 0 && disk.backing != nil && grantTime > tr.PrefetchIO {
+		scrubBacked := disk.backing != nil
+		if shardSrv != nil {
+			scrubBacked = shardSrv.scrubbing()
+		}
+		if cfg.Engine.ScrubPages > 0 && scrubBacked && grantTime > tr.PrefetchIO {
 			leftover := grantTime - tr.PrefetchIO
 			maxPages := cfg.Engine.ScrubPages
-			if tx := disk.model.Transfer; tx > 0 {
+			if tx := cfg.Engine.Cost.Transfer; tx > 0 {
 				if byTime := int(leftover / tx); byTime < maxPages {
 					maxPages = byTime
 				}
 			}
-			disk.scrubStep(maxPages)
+			if shardSrv != nil {
+				shardSrv.scrubStep(maxPages)
+			} else {
+				disk.scrubStep(maxPages)
+			}
 		}
 
-		qRetries := disk.stats.FaultRetries - preRetries
-		qTimeouts := disk.stats.TimedOutReads - preTimeouts
-		qCorrupt := disk.stats.CorruptPages - preCorrupt
-		qRepaired := disk.stats.RepairedPages - preRepaired
+		var qRetries, qTimeouts, qCorrupt, qRepaired int64
+		if shardSrv != nil {
+			postRetries, postTimeouts, postCorrupt, postRepaired := shardSrv.faultCounters()
+			qRetries = postRetries - preRetries
+			qTimeouts = postTimeouts - preTimeouts
+			qCorrupt = postCorrupt - preCorrupt
+			qRepaired = postRepaired - preRepaired
+		} else {
+			qRetries = disk.stats.FaultRetries - preRetries
+			qTimeouts = disk.stats.TimedOutReads - preTimeouts
+			qCorrupt = disk.stats.CorruptPages - preCorrupt
+			qRepaired = disk.stats.RepairedPages - preRepaired
+		}
 		ss.out.FaultRetries += qRetries
 		ss.out.TimedOutReads += qTimeouts
 		ss.out.CorruptPages += qCorrupt
@@ -1042,7 +1141,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 	}
 
 	for i, ss := range states {
-		ss.out.Ledger = arb.Ledger(i)
+		if shardSrv != nil {
+			ss.out.Ledger = shardSrv.ledger(i)
+		} else {
+			ss.out.Ledger = arb.Ledger(i)
+		}
 		ss.out.BreakerTrips = breakers[i].trips
 		res.BreakerTrips += ss.out.BreakerTrips
 		res.Sessions = append(res.Sessions, ss.out)
@@ -1050,7 +1153,9 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			res.Makespan = ss.out.Completed
 		}
 	}
-	if shared != nil {
+	if shardSrv != nil {
+		shardSrv.finish(&res)
+	} else if shared != nil {
 		res.Cache = shared.Stats()
 	} else {
 		for i := range caches {
@@ -1083,9 +1188,11 @@ func (p *SessionPlans) Serve(cfg ServeConfig) ServeResult {
 			c.LostQueries += s.LostQueries
 		}
 	}
-	res.Disk = disk.stats
-	res.InterferenceSeeks = disk.interferenceSeeks
-	res.Interference = disk.interferenceTime
+	if shardSrv == nil {
+		res.Disk = disk.stats
+		res.InterferenceSeeks = disk.interferenceSeeks
+		res.Interference = disk.interferenceTime
+	}
 	return res
 }
 

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"time"
+
+	"scout/internal/cache"
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+	"scout/internal/workload"
+)
+
+// engineShard is one shard worker's private state: its slice of the prefetch
+// cache, a disk with its own head and seek ledger, and scratch. Only the
+// shard's worker goroutine touches it during a fan-out.
+type engineShard struct {
+	disk  *pagestore.Disk
+	cache *cache.Sharded
+	miss  []pagestore.PageID
+	batch []pagestore.PageID
+}
+
+// demandOut is shard i's result slot for one demand fan-out.
+type demandOut struct {
+	cold     time.Duration
+	missCost time.Duration
+	hits     int
+	miss     int
+}
+
+// prefetchOut is shard i's result slot for one prefetch-window fan-out.
+type prefetchOut struct {
+	spent time.Duration
+	n     int
+}
+
+// ShardedEngine is the scale-out variant of Engine: the page space is
+// partitioned into S contiguous Hilbert ranges of the layout key
+// (pagestore.Partition), each owned by a shard worker with its own cache
+// slice, disk head and seek state. A stateless Router splits every demand
+// set and prefetch prediction set by range; per-shard elevator batches run
+// genuinely in parallel on the shard workers, and the merged service time
+// is the slowest shard (parallel I/O) plus a per-page routing charge for
+// pages shipped from non-home shards. The plan phase (prefetcher observe +
+// plan) is untouched, and the commit arithmetic is deterministic, so output
+// is byte-identical run-to-run; with S=1 every split is a no-op and the
+// result is bit-exact with the unsharded BatchedIO engine
+// (TestShardedSingleShardBitExact).
+//
+// A ShardedEngine is a single-coordinator object: RunSequence must not be
+// called concurrently on the same instance. Use Clone for parallel runs.
+type ShardedEngine struct {
+	store  *pagestore.Store
+	index  Index
+	cfg    Config
+	shards int
+	router Router
+	set    *ShardSet[*engineShard]
+
+	// Coordinator-owned fan-out scratch.
+	parts    [][]pagestore.PageID
+	pparts   [][]pagestore.PageID
+	demand   []demandOut
+	prefetch []prefetchOut
+	counts   []int
+	batchBuf []pagestore.PageID
+	reqBuf   []pagestore.PageID
+}
+
+// NewShardedEngine builds an S-shard engine over the store's current
+// layout. The total cache capacity (same sizing rule as the unsharded
+// engine) is split across shards ±1 page; each shard's cache is a
+// cache.Sharded with a single internal shard, i.e. an exact LRU over that
+// shard's slice, which is what makes S=1 cache behavior identical to the
+// unsharded engine's. Reads always take the batched elevator path —
+// Config.BatchedIO is implied. Close must be called to stop the workers.
+func NewShardedEngine(store *pagestore.Store, index Index, cfg Config, shards int) *ShardedEngine {
+	if cfg.Cost == (pagestore.CostModel{}) {
+		cfg.Cost = pagestore.DefaultCostModel()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	part := pagestore.NewPartition(store, shards)
+	capacity := cacheCapacity(cfg, store)
+	base, extra := capacity/shards, capacity%shards
+	state := make([]*engineShard, shards)
+	for i := range state {
+		sc := base
+		if i < extra {
+			sc++
+		}
+		sh := &engineShard{
+			disk:  pagestore.NewDisk(store, cfg.Cost),
+			cache: cache.NewSharded(sc, 1),
+		}
+		if cfg.Faults != nil {
+			sh.disk.SetFaults(cfg.Faults, cfg.Retry)
+		}
+		if cfg.Backing != nil {
+			sh.disk.SetBacking(cfg.Backing)
+		}
+		state[i] = sh
+	}
+	return &ShardedEngine{
+		store:    store,
+		index:    index,
+		cfg:      cfg,
+		shards:   shards,
+		router:   NewRouter(store, part, cfg.Cost),
+		set:      NewShardSet(state),
+		demand:   make([]demandOut, shards),
+		prefetch: make([]prefetchOut, shards),
+		counts:   make([]int, shards),
+	}
+}
+
+// Shards returns the shard count.
+func (e *ShardedEngine) Shards() int { return e.shards }
+
+// Router exposes the engine's router (for tests).
+func (e *ShardedEngine) Router() Router { return e.router }
+
+// Close stops the shard workers. The engine must be idle.
+func (e *ShardedEngine) Close() { e.set.Close() }
+
+// Clone creates an independent sharded engine over the same store and index
+// with fresh shard state (parallel runs give every coordinator a clone).
+func (e *ShardedEngine) Clone() *ShardedEngine {
+	return NewShardedEngine(e.store, e.index, e.cfg, e.shards)
+}
+
+// ShardStats returns each shard disk's accumulated statistics, indexed by
+// shard.
+func (e *ShardedEngine) ShardStats() []pagestore.DiskStats {
+	out := make([]pagestore.DiskStats, e.shards)
+	for i := 0; i < e.shards; i++ {
+		out[i] = e.set.State(i).disk.Stats()
+	}
+	return out
+}
+
+// Stats returns the fleet-wide I/O statistics (per-shard stats folded with
+// DiskStats.Add).
+func (e *ShardedEngine) Stats() pagestore.DiskStats {
+	var agg pagestore.DiskStats
+	for i := 0; i < e.shards; i++ {
+		s := e.set.State(i).disk.Stats()
+		agg.Add(s)
+	}
+	return agg
+}
+
+// ResetStats zeroes every shard disk's statistics.
+func (e *ShardedEngine) ResetStats() {
+	for i := 0; i < e.shards; i++ {
+		e.set.State(i).disk.ResetStats()
+	}
+}
+
+// RunSequence mirrors Engine.RunSequence step for step — same clearing
+// discipline, same observe/plan flow, same window arithmetic — with the
+// demand read and the prefetch flush fanned out across the shard workers.
+// Comments that would duplicate the unsharded path are omitted; see
+// engine.go. Divergences:
+//
+//   - Cold and Residual price the slowest shard's elevator sweep (the
+//     shards' disks run in parallel) plus Route per page shipped from a
+//     non-home shard. Cold charges routing for the whole demand set (cold
+//     means nothing is cached anywhere); Residual charges it for remote
+//     misses only — a remote cache hit is returned by the shard worker from
+//     memory and its handoff is folded into CacheHit-scale noise we do not
+//     model, keeping hits free exactly as on the unsharded path.
+//   - The prefetch window closes per shard: every shard may sweep up to the
+//     same budget concurrently, so a window prefetches up to S times more
+//     pages while PrefetchIO — the slowest shard's spend — still respects
+//     the window. That is the scale-out win the shard1 experiment measures.
+func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher) SequenceResult {
+	e.set.Do(func(i int, sh *engineShard) {
+		sh.cache.Clear()
+		sh.disk.ResetHead()
+	})
+	p.Reset()
+
+	res := SequenceResult{}
+	ratio := seq.Params.WindowRatio
+	if ratio <= 0 {
+		ratio = 1
+	}
+
+	var pageBuf []pagestore.PageID
+	for qi, q := range seq.Queries {
+		tr := QueryTrace{Seq: qi}
+
+		pageBuf = e.index.QueryPages(q.Region, pageBuf[:0])
+		tr.ResultPages = len(pageBuf)
+		e.parts = e.router.Split(pageBuf, e.parts)
+		home := e.router.Home(e.parts)
+		tr.Fanout = e.router.Fanout(e.parts)
+
+		outs := e.demand
+		parts := e.parts
+		e.set.Do(func(i int, sh *engineShard) {
+			o := &outs[i]
+			*o = demandOut{}
+			sh.disk.ResetHead()
+			part := parts[i]
+			if len(part) == 0 {
+				return
+			}
+			o.cold = sh.disk.ColdCost(part)
+			sh.miss = sh.miss[:0]
+			for _, pg := range part {
+				if sh.cache.Lookup(pg) {
+					o.hits++
+				} else {
+					sh.miss = append(sh.miss, pg)
+				}
+			}
+			o.miss = len(sh.miss)
+			o.missCost = sh.disk.ReadBatch(sh.miss)
+		})
+
+		var coldMax, missMax time.Duration
+		for i := range outs {
+			if outs[i].cold > coldMax {
+				coldMax = outs[i].cold
+			}
+			if outs[i].missCost > missMax {
+				missMax = outs[i].missCost
+			}
+			tr.HitPages += outs[i].hits
+			e.counts[i] = outs[i].miss
+		}
+		remoteMiss, missCharge := e.router.Charge(e.counts, home)
+		for i := range e.counts {
+			e.counts[i] = len(parts[i])
+		}
+		_, coldCharge := e.router.Charge(e.counts, home)
+		tr.Cold = coldMax + coldCharge
+		tr.Residual = missMax + missCharge
+		tr.RoutedPages = remoteMiss
+
+		result := queryObjects(e.store, q.Region, pageBuf)
+		p.Observe(prefetch.Observation{
+			Seq:    qi,
+			Region: q.Region,
+			Center: q.Center,
+			Result: result,
+			Pages:  append([]pagestore.PageID(nil), pageBuf...),
+		})
+		plan := p.Plan()
+		tr.GraphBuild = plan.GraphBuild
+		tr.GraphDelta = plan.GraphDelta
+		tr.Prediction = plan.Prediction
+
+		tr.Window = time.Duration(ratio * float64(tr.Cold))
+		budget := tr.Window
+		if !plan.PredictionHidden {
+			budget -= plan.Prediction
+		}
+		if qi < len(seq.Queries)-1 && budget > 0 {
+			prefetched, ioTime := e.executePlanSharded(plan, budget)
+			tr.Prefetched = prefetched
+			tr.PrefetchIO = ioTime
+		}
+
+		if e.cfg.ScrubPages > 0 && e.cfg.Backing != nil && qi < len(seq.Queries)-1 {
+			if leftover := budget - tr.PrefetchIO; leftover > 0 {
+				max := e.cfg.ScrubPages
+				if t := e.cfg.Cost.Transfer; t > 0 {
+					if byTime := int(leftover / t); byTime < max {
+						max = byTime
+					}
+				}
+				// The scrub cursor lives in the shared FileStore; shard 0's
+				// disk carries the scrub ledger.
+				e.set.State(0).disk.ScrubStep(max)
+			}
+		}
+
+		counted := !(e.cfg.SkipFirstQuery && qi == 0)
+		if counted {
+			res.HitPages += int64(tr.HitPages)
+			res.TotalPages += int64(tr.ResultPages)
+			res.Cold += tr.Cold
+			res.Residual += tr.Residual
+			res.GraphBuild += tr.GraphBuild
+			res.Prediction += tr.Prediction
+			if tr.GraphDelta {
+				res.DeltaBuilds++
+			}
+		}
+		res.Queries = append(res.Queries, tr)
+	}
+	return res
+}
+
+// executePlanSharded is executePlanBatched with the prediction set split by
+// shard range: each shard assembles its sub-batch against its own cache and
+// sweeps its runs under the full window budget, concurrently. Shard ranges
+// are contiguous in physical order, so with S=1 the single sub-batch is the
+// global batch and the arithmetic is bit-exact with the unsharded flush.
+func (e *ShardedEngine) executePlanSharded(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
+	buf := e.batchBuf[:0]
+	buf = append(buf, plan.TraversalPages...)
+	for _, r := range plan.Requests {
+		e.reqBuf = e.index.QueryPages(r.Region, e.reqBuf[:0])
+		buf = append(buf, e.reqBuf...)
+	}
+	e.batchBuf = buf
+
+	e.pparts = e.router.Split(buf, e.pparts)
+	outs := e.prefetch
+	parts := e.pparts
+	maxBridge := e.cfg.Cost.MaxBridge()
+	e.set.Do(func(i int, sh *engineShard) {
+		o := &outs[i]
+		*o = prefetchOut{}
+		part := parts[i]
+		if len(part) == 0 {
+			return
+		}
+		sh.batch = append(sh.batch[:0], part...)
+		sh.batch = assembleBatch(e.store, sh.cache, sh.batch)
+		var spent time.Duration
+		n := 0
+		e.store.Runs(sh.batch, maxBridge, func(run []pagestore.PageID) bool {
+			spent += sh.disk.ReadSorted(run)
+			for _, pg := range run {
+				sh.cache.Insert(pg)
+				n++
+			}
+			return spent <= budget
+		})
+		o.spent, o.n = spent, n
+	})
+
+	var spentMax time.Duration
+	total := 0
+	for i := range outs {
+		total += outs[i].n
+		if outs[i].spent > spentMax {
+			spentMax = outs[i].spent
+		}
+	}
+	return total, spentMax
+}

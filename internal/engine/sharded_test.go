@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"scout/internal/pagestore"
+	"scout/internal/prefetch"
+)
+
+// TestShardedSingleShardBitExact pins the S=1 contract: the sharded engine
+// with one shard must produce bit-identical SequenceResults to the unsharded
+// BatchedIO engine — same costs, same hits, same windows — under every
+// layout. The only permitted difference is the fan-out bookkeeping the
+// unsharded path never fills (Fanout is 1 or 0, RoutedPages 0), which the
+// test verifies and then normalizes away.
+func TestShardedSingleShardBitExact(t *testing.T) {
+	store, tree := cloudWorld(t, 4000, 31)
+	rng := rand.New(rand.NewSource(41))
+	walks := []struct{ n int }{{12}, {15}}
+	for _, name := range pagestore.LayoutNames() {
+		l, err := pagestore.ParseLayout(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Relayout(l); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.BatchedIO = true
+		flat := New(store, tree, cfg)
+		sharded := NewShardedEngine(store, tree, cfg, 1)
+		for wi, w := range walks {
+			seq := randomWalk(rng, w.n, 20)
+			want := flat.RunSequence(seq, prefetch.NewStraightLine(20*20*20))
+			got := sharded.RunSequence(seq, prefetch.NewStraightLine(20*20*20))
+			for qi := range got.Queries {
+				tr := &got.Queries[qi]
+				if tr.Fanout > 1 || tr.RoutedPages != 0 {
+					t.Fatalf("layout %s walk %d query %d: S=1 fanned out (fanout %d, routed %d)",
+						name, wi, qi, tr.Fanout, tr.RoutedPages)
+				}
+				tr.Fanout = 0
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("layout %s walk %d: S=1 sharded run differs from unsharded batched run\n got: %+v\nwant: %+v",
+					name, wi, got, want)
+			}
+		}
+		if ds, fs := sharded.Stats(), flat.Disk().Stats(); ds != fs {
+			t.Fatalf("layout %s: S=1 disk stats diverged: %+v vs %+v", name, ds, fs)
+		}
+		sharded.Close()
+	}
+	if err := store.Relayout(pagestore.InsertionLayout()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedResultSetsMatchUnsharded is the merge-correctness property: for
+// every shard count, each query's result set (its page count, straight off
+// the shared index) is identical to the single-shard run's, and the router's
+// split is an exact partition — every page lands on exactly the shard that
+// owns its physical range, and the shards' slices reassemble to the input.
+func TestShardedResultSetsMatchUnsharded(t *testing.T) {
+	store, tree := cloudWorld(t, 4000, 7)
+	if err := store.Relayout(pagestore.HilbertLayout()); err != nil {
+		t.Fatal(err)
+	}
+	defer store.Relayout(pagestore.InsertionLayout())
+	rng := rand.New(rand.NewSource(11))
+	seq := randomWalk(rng, 14, 24)
+
+	cfg := DefaultConfig()
+	cfg.BatchedIO = true
+	base := New(store, tree, cfg)
+	want := base.RunSequence(seq, prefetch.NewStraightLine(24*24*24))
+
+	for _, s := range []int{1, 2, 3, 4, 8, 16} {
+		e := NewShardedEngine(store, tree, cfg, s)
+		got := e.RunSequence(seq, prefetch.NewStraightLine(24*24*24))
+		if len(got.Queries) != len(want.Queries) {
+			t.Fatalf("S=%d: query count %d != %d", s, len(got.Queries), len(want.Queries))
+		}
+		for qi := range got.Queries {
+			g, w := got.Queries[qi], want.Queries[qi]
+			if g.ResultPages != w.ResultPages {
+				t.Errorf("S=%d query %d: result pages %d != %d", s, qi, g.ResultPages, w.ResultPages)
+			}
+			// The plan phase is shard-oblivious: observation-driven costs
+			// must not move with S.
+			if g.GraphBuild != w.GraphBuild || g.Prediction != w.Prediction {
+				t.Errorf("S=%d query %d: plan-phase costs drifted", s, qi)
+			}
+		}
+		if got.TotalPages != want.TotalPages {
+			t.Errorf("S=%d: total pages %d != %d", s, got.TotalPages, want.TotalPages)
+		}
+
+		// Router split is an exact partition of an arbitrary page set.
+		r := e.Router()
+		pages := tree.QueryPages(seq.Queries[3].Region, nil)
+		parts := r.Split(pages, nil)
+		part := r.Partition()
+		total := 0
+		for i, p := range parts {
+			total += len(p)
+			for _, pg := range p {
+				if own := part.ShardOf(store, pg); own != i {
+					t.Fatalf("S=%d: page %d routed to shard %d, owner %d", s, pg, i, own)
+				}
+			}
+		}
+		if total != len(pages) {
+			t.Fatalf("S=%d: split dropped pages: %d != %d", s, total, len(pages))
+		}
+		e.Close()
+	}
+}
+
+// TestShardedDeterministic: two fresh sharded engines (and a Clone) replay
+// the same workload bit-identically — the parallel per-shard sweeps must not
+// leak scheduling into the virtual clock.
+func TestShardedDeterministic(t *testing.T) {
+	store, tree := cloudWorld(t, 3000, 19)
+	if err := store.Relayout(pagestore.HilbertLayout()); err != nil {
+		t.Fatal(err)
+	}
+	defer store.Relayout(pagestore.InsertionLayout())
+	rng := rand.New(rand.NewSource(3))
+	seq := randomWalk(rng, 12, 22)
+	cfg := DefaultConfig()
+	cfg.BatchedIO = true
+
+	run := func(e *ShardedEngine) SequenceResult {
+		defer e.Close()
+		return e.RunSequence(seq, prefetch.NewStraightLine(22*22*22))
+	}
+	a := NewShardedEngine(store, tree, cfg, 8)
+	b := a.Clone()
+	ra := run(a)
+	rb := run(b)
+	rc := run(NewShardedEngine(store, tree, cfg, 8))
+	if !reflect.DeepEqual(ra, rb) || !reflect.DeepEqual(ra, rc) {
+		t.Fatal("sharded runs differ between identical engines")
+	}
+}
+
+// TestShardSetRaceHammer drives one shared ShardSet from 16 concurrent
+// coordinators under -race: the mailboxes must serialize every shard's
+// state perfectly (the per-shard counters and disk ledgers come out exact),
+// and the stateless Router must tolerate concurrent Splits. Determinism of
+// a single coordinator is covered elsewhere; this test is about memory
+// safety and serialization.
+func TestShardSetRaceHammer(t *testing.T) {
+	store, tree := cloudWorld(t, 2000, 13)
+	if err := store.Relayout(pagestore.HilbertLayout()); err != nil {
+		t.Fatal(err)
+	}
+	defer store.Relayout(pagestore.InsertionLayout())
+
+	const shards = 8
+	const coordinators = 16
+	const rounds = 25
+	type hammerShard struct {
+		disk  *pagestore.Disk
+		reads int64
+	}
+	state := make([]*hammerShard, shards)
+	for i := range state {
+		state[i] = &hammerShard{disk: pagestore.NewDisk(store, pagestore.DefaultCostModel())}
+	}
+	set := NewShardSet(state)
+	defer set.Close()
+	router := NewRouter(store, pagestore.NewPartition(store, shards), pagestore.DefaultCostModel())
+
+	var wg sync.WaitGroup
+	for c := 0; c < coordinators; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			var parts [][]pagestore.PageID
+			for r := 0; r < rounds; r++ {
+				seq := randomWalk(rng, 2, 20)
+				pages := tree.QueryPages(seq.Queries[0].Region, nil)
+				parts = router.Split(pages, parts)
+				snapshot := parts
+				set.Do(func(i int, sh *hammerShard) {
+					for _, pg := range snapshot[i] {
+						sh.disk.ReadPage(pg)
+						sh.reads++
+					}
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var reads, pagesRead int64
+	for _, sh := range state {
+		reads += sh.reads
+		pagesRead += sh.disk.Stats().PagesRead
+	}
+	if reads != pagesRead {
+		t.Fatalf("shard ledgers torn: %d reads vs %d pages read", reads, pagesRead)
+	}
+	if pagesRead == 0 {
+		t.Fatal("hammer read nothing")
+	}
+}

@@ -1,0 +1,70 @@
+package engine
+
+import "sync"
+
+// shardTask is one unit of work mailed to a shard worker.
+type shardTask struct {
+	fn func()
+	wg *sync.WaitGroup
+}
+
+// ShardSet runs one long-lived worker goroutine per shard, each draining its
+// own channel mailbox. A shard's mutable state (disk head, cache, arbiter) is
+// touched only by closures executed on that shard's worker, so per-shard
+// state needs no locks and fan-outs across shards genuinely overlap. The
+// mailbox serializes tasks per shard, which makes a ShardSet safe to drive
+// from multiple coordinators concurrently (the race hammer does); the
+// ordering — and therefore determinism — of a single coordinator's fan-outs
+// is preserved because Do waits for every shard before returning.
+type ShardSet[T any] struct {
+	state []T
+	mail  []chan shardTask
+	done  sync.WaitGroup
+}
+
+// NewShardSet starts one worker per state entry.
+func NewShardSet[T any](state []T) *ShardSet[T] {
+	ss := &ShardSet[T]{state: state, mail: make([]chan shardTask, len(state))}
+	for i := range state {
+		ch := make(chan shardTask)
+		ss.mail[i] = ch
+		ss.done.Add(1)
+		go func() {
+			defer ss.done.Done()
+			for t := range ch {
+				t.fn()
+				t.wg.Done()
+			}
+		}()
+	}
+	return ss
+}
+
+// Shards returns the shard count.
+func (ss *ShardSet[T]) Shards() int { return len(ss.state) }
+
+// State returns shard i's state. Callers may touch it directly only between
+// fan-outs they themselves issued (Do's wait establishes the necessary
+// happens-before edge); during a fan-out it belongs to the worker.
+func (ss *ShardSet[T]) State(i int) T { return ss.state[i] }
+
+// Do mails fn to every shard worker and waits for all of them. The closures
+// run concurrently across shards; fn must confine itself to shard i's state
+// and any result slot dedicated to shard i.
+func (ss *ShardSet[T]) Do(fn func(i int, st T)) {
+	var wg sync.WaitGroup
+	wg.Add(len(ss.mail))
+	for i := range ss.mail {
+		i := i
+		ss.mail[i] <- shardTask{fn: func() { fn(i, ss.state[i]) }, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close stops the workers and waits for them to exit. The set must be idle.
+func (ss *ShardSet[T]) Close() {
+	for _, ch := range ss.mail {
+		close(ch)
+	}
+	ss.done.Wait()
+}

@@ -127,6 +127,11 @@ type Options struct {
 	// Patience overrides load1's abandonment patience (scoutbench
 	// -patience; 0 = 2× the derived SLO, which keeps it scale-free).
 	Patience time.Duration
+	// Shards pins the shard1 experiment's shard-count sweep to one count
+	// when positive (scoutbench -shards N; valid counts in ShardCounts).
+	// 0 means the full 1→16 sweep. No other experiment shards its engine,
+	// whatever this is set to.
+	Shards int
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
@@ -143,6 +148,22 @@ func ParseBackend(name string) (string, error) {
 		return "file", nil
 	}
 	return "", fmt.Errorf("experiments: unknown backend %q (want sim or file)", name)
+}
+
+// ShardCounts lists the valid -shards values in sweep order.
+func ShardCounts() []int { return []int{1, 2, 4, 8, 16} }
+
+// ParseShardCount validates a -shards value. 0 means the full sweep.
+func ParseShardCount(n int) (int, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	for _, s := range ShardCounts() {
+		if n == s {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown shard count %d (want 0, 1, 2, 4, 8 or 16)", n)
 }
 
 // DefaultOptions runs experiments at the documented scale.

@@ -103,6 +103,7 @@ func Dur1(env *Env) Result {
 					samples = append(samples, tr.Residual)
 				}
 			}
+			lat := summarize(samples)
 			// Finish the scrub cycle: one bounded step over every slot, so
 			// "Intact" reflects what a completed background pass leaves behind,
 			// not how far the idle-window pacing happened to get.
@@ -118,9 +119,9 @@ func Dur1(env *Env) Result {
 				fmt.Sprintf("%d", fss.CorruptDetected),
 				fmt.Sprintf("%d", fss.Repaired),
 				fmt.Sprintf("%d", fss.SilentCorruptReads),
-				ms(engine.Percentile(samples, 50)),
-				ms(engine.Percentile(samples, 95)),
-				ms(engine.Percentile(samples, 99)),
+				ms(lat.P50),
+				ms(lat.P95),
+				ms(lat.P99),
 				ms(ds.ScrubIO),
 				intact)
 			res.Seeks += ds.Seeks

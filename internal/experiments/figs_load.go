@@ -223,15 +223,15 @@ func load1Sweep(env *Env) (points []loadPoint, slo, patience time.Duration, capa
 					sc.AddOpenLoop(out.Abandoned, out.LostQueries)
 				}
 			}
-			samples := sr.Responses()
+			lat := summarize(sr.Responses())
 			points = append(points, loadPoint{
 				Mult:      mult,
 				Mitigated: mitigated,
 				Rate:      rate,
-				P50:       engine.Percentile(samples, 50),
-				P95:       engine.Percentile(samples, 95),
-				P99:       engine.Percentile(samples, 99),
-				P999:      engine.Percentile(samples, 99.9),
+				P50:       lat.P50,
+				P95:       lat.P95,
+				P99:       lat.P99,
+				P999:      lat.P999,
 				Goodput:   sr.Goodput(),
 				Abandon:   sr.AbandonRate(),
 				SLORate:   sr.SLORate(),

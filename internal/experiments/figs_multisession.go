@@ -185,9 +185,8 @@ func Mu2(env *Env) Result {
 		_, plans := muPlan(env, s, n)
 		for _, policy := range policies {
 			sr := plans.Serve(muConfig(opt.engineConfig(), policy, false, muInterference))
-			samples := sr.Responses()
-			row = append(row, fmt.Sprintf("%s/%s",
-				ms(engine.Percentile(samples, 50)), ms(engine.Percentile(samples, 95))))
+			lat := summarize(sr.Responses())
+			row = append(row, fmt.Sprintf("%s/%s", ms(lat.P50), ms(lat.P95)))
 			opt.progress("mu2: %d sessions, %s done", n, policy)
 		}
 		res.AddRow(row...)

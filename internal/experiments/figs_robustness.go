@@ -106,11 +106,11 @@ func Rob1(env *Env) Result {
 					sc.AddServe(out.FaultRetries, out.ShedPrefetches, out.Rejected)
 				}
 			}
-			samples := sr.Responses()
+			lat := summarize(sr.Responses())
 			res.AddRow(prof, mode.name,
-				ms(engine.Percentile(samples, 50)),
-				ms(engine.Percentile(samples, 95)),
-				ms(engine.Percentile(samples, 99)),
+				ms(lat.P50),
+				ms(lat.P95),
+				ms(lat.P99),
 				fmt.Sprintf("%.1f q/s", sr.Goodput()),
 				pct(sr.SLORate()),
 				fmt.Sprintf("%d/%d", sr.Disk.FaultRetries, sr.Disk.TimedOutReads),

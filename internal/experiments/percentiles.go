@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// latencySummary is the nearest-rank latency profile the serving
+// experiments report (mu*, rob*, dur*, load*, shard*): median, tail, and
+// far-tail response times.
+type latencySummary struct {
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	P999 time.Duration
+}
+
+// summarize computes the whole profile with one sort instead of one per
+// quantile. Each field is byte-identical to engine.Percentile's
+// nearest-rank answer on the same samples (TestSummarizeMatchesPercentile
+// pins that, and the experiment goldens would catch any drift); the input
+// is not modified. Empty input yields the zero summary.
+func summarize(samples []time.Duration) latencySummary {
+	if len(samples) == 0 {
+		return latencySummary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		rank := int(math.Ceil(float64(len(sorted))*p/100)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return sorted[rank]
+	}
+	return latencySummary{P50: at(50), P95: at(95), P99: at(99), P999: at(99.9)}
+}

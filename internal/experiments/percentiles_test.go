@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scout/internal/engine"
+)
+
+// TestSummarizeMatchesPercentile pins the one-sort summary to
+// engine.Percentile's nearest-rank arithmetic, quantile by quantile, over
+// awkward sample counts (empty, one, the rank-rounding edges, larger random
+// sets) — the experiment goldens depend on the two never drifting.
+func TestSummarizeMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 9, 10, 19, 100, 999, 1000, 1001} {
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(rng.Intn(1_000_000)) * time.Microsecond
+		}
+		got := summarize(samples)
+		want := latencySummary{
+			P50:  engine.Percentile(samples, 50),
+			P95:  engine.Percentile(samples, 95),
+			P99:  engine.Percentile(samples, 99),
+			P999: engine.Percentile(samples, 99.9),
+		}
+		if got != want {
+			t.Errorf("n=%d: summarize %+v != percentile %+v", n, got, want)
+		}
+	}
+}
+
+// TestSummarizeDoesNotMutate: the input order must survive.
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	summarize(samples)
+	for i, want := range []time.Duration{5, 1, 4, 2, 3} {
+		if samples[i] != want {
+			t.Fatalf("summarize reordered its input: %v", samples)
+		}
+	}
+}

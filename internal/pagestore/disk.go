@@ -19,6 +19,12 @@ type CostModel struct {
 	// CacheHit is the cost of serving a page from the prefetch cache
 	// (memory copy), orders of magnitude below Transfer.
 	CacheHit time.Duration
+	// Route is the per-page fan-out charge the sharded engine pays to ship a
+	// page from a non-home shard back to the requesting session (an
+	// in-process handoff today, a network hop in a scale-out deployment).
+	// Only the sharded router consults it; single-disk paths never pay it,
+	// and a query landing entirely on its home shard pays none.
+	Route time.Duration
 }
 
 // DefaultCostModel approximates a 2012-era striped SAS array: ~5 ms average
@@ -29,6 +35,7 @@ func DefaultCostModel() CostModel {
 		Seek:     5 * time.Millisecond,
 		Transfer: 40 * time.Microsecond,
 		CacheHit: 1 * time.Microsecond,
+		Route:    5 * time.Microsecond,
 	}
 }
 
@@ -69,6 +76,25 @@ type DiskStats struct {
 	ScrubbedPages int64
 	ScrubIO       time.Duration
 	WallRead      time.Duration
+}
+
+// Add folds another stats block into this one, saturating the monotone
+// counters. The sharded engine aggregates its per-shard DiskStats through
+// here so fleet-wide totals stay overflow-safe.
+func (s *DiskStats) Add(o DiskStats) {
+	satAdd(&s.PagesRead, o.PagesRead)
+	satAdd(&s.Seeks, o.Seeks)
+	s.SimulatedIO += o.SimulatedIO
+	satAdd(&s.BridgedPages, o.BridgedPages)
+	satAdd(&s.FaultRetries, o.FaultRetries)
+	satAdd(&s.TimedOutReads, o.TimedOutReads)
+	s.FaultDelay += o.FaultDelay
+	satAdd(&s.CorruptPages, o.CorruptPages)
+	satAdd(&s.RepairedPages, o.RepairedPages)
+	s.CorruptDelay += o.CorruptDelay
+	satAdd(&s.ScrubbedPages, o.ScrubbedPages)
+	s.ScrubIO += o.ScrubIO
+	s.WallRead += o.WallRead
 }
 
 // satAdd adds d (≥ 0) to *a, saturating at math.MaxInt64 instead of
