@@ -118,6 +118,15 @@ func main() {
 			base.Shards, fresh.Shards)
 		os.Exit(2)
 	}
+	// A replicated fleet pays for replica sweeps, failover probes and hedged
+	// duplicates an unreplicated one never issues, and a pinned mode
+	// collapses ha1's three-mode sweep to one — either way the work differs,
+	// so the comparison is void.
+	if base.Replicas != fresh.Replicas || base.Hedge != fresh.Hedge {
+		fmt.Fprintf(os.Stderr, "benchdiff: replication configuration mismatch (replicas %d vs %d, hedge %v vs %v) — comparison void\n",
+			base.Replicas, fresh.Replicas, base.Hedge, fresh.Hedge)
+		os.Exit(2)
+	}
 	// File-backend wall clocks include real I/O, which is far noisier across
 	// CI runners than compute time — widen the noise floor. Seeks still come
 	// off the virtual clock and keep their exact, floorless gate.

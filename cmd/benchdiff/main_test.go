@@ -131,6 +131,41 @@ func TestShardConfigMismatchVoids(t *testing.T) {
 	}
 }
 
+// TestReplicationConfigMismatchVoids: a pinned replication degree or hedge
+// threshold changes what ha1 measures — replica sweeps, failover probes and
+// hedged duplicates are real work — so any mismatch voids the comparison
+// (exit 2), while two runs pinned identically stay comparable.
+func TestReplicationConfigMismatchVoids(t *testing.T) {
+	mutate := []struct {
+		name string
+		mod  func(*benchfmt.File)
+	}{
+		{"replicas", func(f *benchfmt.File) { f.Replicas = 2 }},
+		{"hedge", func(f *benchfmt.File) { f.Hedge = 1.5 }},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := bench(50)
+			tc.mod(&fresh)
+			out, code := runBenchdiff(t, bench(50), fresh)
+			if code != 2 {
+				t.Fatalf("mismatched %s exited %d, want 2\n%s", tc.name, code, out)
+			}
+			if !strings.Contains(out, "replication configuration mismatch") {
+				t.Errorf("output missing the void reason:\n%s", out)
+			}
+		})
+	}
+
+	base, fresh := bench(50), bench(50)
+	base.Replicas, base.Hedge = 2, 1.5
+	fresh.Replicas, fresh.Hedge = 2, 1.5
+	out, code := runBenchdiff(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("matching replication pins voided the comparison (exit %d):\n%s", code, out)
+	}
+}
+
 // TestP999Gate pins the deterministic p999 gate: regressions beyond the
 // tolerance fail (exit 1), improvements and in-tolerance drift pass, and a
 // fresh run that silently drops the metric fails — a disarmed gate is a

@@ -21,6 +21,7 @@
 //	scoutbench -exp dur1 -checksum repair  # pin dur1's integrity-mode sweep
 //	scoutbench -exp load1 -arrivals bursty -rate 4  # open-loop sweep, one load point
 //	scoutbench -exp shard1 -shards 8  # sharded engine, one shard count
+//	scoutbench -exp ha1 -replicas 2 -hedge 1.5 -faults shard:outage  # one HA cell
 //	scoutbench -exp all -compare -benchjson BENCH_hotpath.json
 package main
 
@@ -52,7 +53,7 @@ func main() {
 		sessions   = flag.Int("sessions", 0, "override the mu* experiments' session-count sweep with one count (0 = sweep 1..64)")
 		policy     = flag.String("policy", "", "override the mu* arbiter policy: fair, demand, starved or none (empty = per-experiment default/ablation)")
 		layout     = flag.String("layout", "", "physical page layout: insertion, hilbert or str (empty/insertion = the seed's order and per-page I/O; other layouts also enable batched elevator reads)")
-		faults     = flag.String("faults", "", "fault-injection profile for rob1: off, light, moderate or heavy (empty = rob1 sweeps all profiles; no other experiment injects)")
+		faults     = flag.String("faults", "", "fault-injection profile: off, light, moderate or heavy for rob1's session faults, shard:brownout, shard:outage or shard:flaky for ha1's shard faults (empty = each experiment sweeps its own profiles; no other experiment injects)")
 		backend    = flag.String("backend", "", "page store backend: sim or file (empty/sim = pure virtual-clock cost model; file reads a durable checksummed page file and reports real read time alongside the simulated cost)")
 		backendDir = flag.String("backenddir", "", "directory for the file backend's page files (empty = a fresh temp dir; only meaningful with -backend file)")
 		checksum   = flag.String("checksum", "", "file-backend integrity mode: off, verify or repair (empty = repair; also pins dur1's mode sweep, like -faults pins rob1)")
@@ -62,7 +63,9 @@ func main() {
 		rate       = flag.Float64("rate", 0, "pin load1's offered-load sweep to one multiplier of the calibrated capacity (0 = full 0.5x..8x sweep)")
 		classes    = flag.String("classes", "", "load1's workload class mix: mixed or uniform (empty = mixed: model/scan/teleport)")
 		patience   = flag.Duration("patience", 0, "load1's base abandonment patience (0 = 2x the derived SLO)")
-		shards     = flag.Int("shards", 0, "pin shard1's shard-count sweep to one count (0 = full sweep; no other experiment shards)")
+		shards     = flag.Int("shards", 0, "pin shard1's and ha1's shard-count sweeps to one count (0 = full sweep; no other experiment shards)")
+		replicas   = flag.Int("replicas", 0, "pin ha1's replication-mode sweep to one chain length (0 = full sweep: unreplicated, 2-way, 2-way hedged; no other experiment replicates)")
+		hedge      = flag.Float64("hedge", 0, "ha1's hedged-prefetch threshold: re-issue a shard sub-batch to its replica when its estimate exceeds this multiple of the median (0 = the hedged mode's default 1.5; must be >= 1)")
 		compare    = flag.Bool("compare", false, "also run single-core and report the wall-clock speedup")
 		jsonOut    = flag.String("benchjson", "", "write wall-clock metrics to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -92,7 +95,7 @@ func main() {
 	if *faults != "" {
 		if _, err := fault.ParseProfile(*faults, 0); err != nil {
 			fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -faults takes one of: %s\n",
-				err, strings.Join(fault.Profiles(), ", "))
+				err, strings.Join(fault.AllProfiles(), ", "))
 			os.Exit(2)
 		}
 	}
@@ -141,6 +144,15 @@ func main() {
 			err, strings.Join(shardCountNames(), ", "))
 		os.Exit(2)
 	}
+	if _, err := experiments.ParseReplicaCount(*replicas); err != nil {
+		fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -replicas takes one of: %s (0 = full sweep)\n",
+			err, strings.Join(replicaCountNames(), ", "))
+		os.Exit(2)
+	}
+	if _, err := experiments.ParseHedge(*hedge); err != nil {
+		fmt.Fprintf(os.Stderr, "scoutbench: %v\nusage: -hedge takes 0 (default threshold) or a multiplier >= 1 (e.g. 1.5)\n", err)
+		os.Exit(2)
+	}
 	// The file backend needs somewhere writable before any experiment runs:
 	// probe the directory up front so a read-only -backenddir is a clear
 	// usage error, not a panic from deep inside dataset setup.
@@ -169,7 +181,7 @@ func main() {
 		Faults: *faults, FaultSeed: *faultSeed, SLO: *slo,
 		Backend: *backend, BackendDir: *backendDir, Checksum: *checksum,
 		Arrivals: *arrivals, Rate: *rate, Classes: *classes, Patience: *patience,
-		Shards: *shards}
+		Shards: *shards, Replicas: *replicas, Hedge: *hedge}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
 	}
@@ -238,7 +250,7 @@ func main() {
 	// -faults/-faultseed/-slo only rob*; stamping them into the JSON for a
 	// run without those experiments would make benchdiff void comparisons
 	// between configurations that are actually identical.
-	hasMu, hasRob, hasLoad, hasShard := false, false, false, false
+	hasMu, hasRob, hasLoad, hasShard, hasHA := false, false, false, false, false
 	for _, e := range toRun {
 		if strings.HasPrefix(e.ID, "mu") || strings.HasPrefix(e.ID, "rob") {
 			hasMu = true
@@ -251,6 +263,9 @@ func main() {
 		}
 		if strings.HasPrefix(e.ID, "shard") {
 			hasShard = true
+		}
+		if strings.HasPrefix(e.ID, "ha") {
+			hasHA = true
 		}
 	}
 	out := benchfmt.File{
@@ -266,8 +281,9 @@ func main() {
 	}
 	// "off" IS the default fault configuration, like "insertion" for
 	// -layout below: normalize it so spelling the default never voids a
-	// benchdiff comparison.
-	if hasRob {
+	// benchdiff comparison. ha1 shares the fault/SLO knobs with rob1 (its
+	// profiles are the shard:* ones).
+	if hasRob || hasHA {
 		if *faults != "off" {
 			out.Faults = *faults
 		}
@@ -288,11 +304,15 @@ func main() {
 		}
 		out.PatienceMS = float64(patience.Microseconds()) / 1000
 	}
-	// -shards only pins shard1's shard-count sweep; 0 IS the default (full
-	// sweep), and omitempty drops it, so only a real pin voids a benchdiff
-	// comparison.
-	if hasShard {
+	// -shards pins shard1's and ha1's shard-count sweeps; 0 IS the default
+	// (full sweep), and omitempty drops it, so only a real pin voids a
+	// benchdiff comparison. Same for ha1's -replicas/-hedge.
+	if hasShard || hasHA {
 		out.Shards = *shards
+	}
+	if hasHA {
+		out.Replicas = *replicas
+		out.Hedge = *hedge
 	}
 	// "insertion" IS the default configuration: normalize it to the empty
 	// string so benchdiff never voids a comparison between two identical
@@ -390,6 +410,14 @@ func policyNames() []string {
 func shardCountNames() []string {
 	var names []string
 	for _, n := range experiments.ShardCounts() {
+		names = append(names, fmt.Sprintf("%d", n))
+	}
+	return names
+}
+
+func replicaCountNames() []string {
+	var names []string
+	for _, n := range experiments.ReplicaCounts() {
 		names = append(names, fmt.Sprintf("%d", n))
 	}
 	return names

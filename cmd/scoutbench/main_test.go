@@ -73,6 +73,16 @@ func TestUsageErrors(t *testing.T) {
 			[]string{"3", "-shards takes one of:", "1, 2, 4, 8, 16"}},
 		{"negative shard count", []string{"-shards", "-2"},
 			[]string{"-2", "-shards takes one of:"}},
+		{"unknown replica count", []string{"-replicas", "5"},
+			[]string{"5", "-replicas takes one of:", "1, 2, 3"}},
+		{"negative replica count", []string{"-replicas", "-1"},
+			[]string{"-1", "-replicas takes one of:"}},
+		{"sub-1 hedge threshold", []string{"-hedge", "0.5"},
+			[]string{"0.5", "-hedge takes 0 (default threshold) or a multiplier >= 1"}},
+		{"negative hedge threshold", []string{"-hedge", "-2"},
+			[]string{"-hedge takes 0 (default threshold) or a multiplier >= 1"}},
+		{"mistyped shard profile", []string{"-faults", "shard:meltdown"},
+			[]string{"shard:meltdown", "-faults takes one of:", "shard:brownout", "shard:outage", "shard:flaky"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,7 +107,7 @@ func TestValidFlagsPassValidation(t *testing.T) {
 		"-list", "-faults", "heavy", "-policy", "fair", "-layout", "hilbert", "-slo", "25ms",
 		"-backend", "file", "-checksum", "repair",
 		"-arrivals", "bursty", "-rate", "4", "-classes", "uniform", "-patience", "100ms",
-		"-shards", "8")
+		"-shards", "8", "-replicas", "2", "-hedge", "1.5")
 	if code != 0 {
 		t.Fatalf("valid flags rejected (exit %d):\n%s", code, stderr)
 	}

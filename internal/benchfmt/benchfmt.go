@@ -53,8 +53,8 @@ type File struct {
 	// noise floor to file-backend wall metrics. Checksum records the file
 	// backend's -checksum integrity mode (empty = repair, the default —
 	// meaningful only with Backend "file").
-	Backend     string   `json:"backend,omitempty"`
-	Checksum    string   `json:"checksum,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Checksum string `json:"checksum,omitempty"`
 	// Arrivals, ArrivalRate, Classes and PatienceMS record load1's
 	// -arrivals/-rate/-classes/-patience open-loop configuration (empty/zero
 	// = the defaults: poisson arrivals, the full multiplier sweep, the mixed
@@ -69,6 +69,13 @@ type File struct {
 	// sweep). A one-shard run and an eight-shard run exercise different
 	// fan-out physics, so benchdiff refuses to compare across shard counts.
 	Shards int `json:"shards,omitempty"`
+	// Replicas and Hedge record ha1's -replicas/-hedge pins (zero = the
+	// full replication-mode sweep at the default hedge threshold). A
+	// replicated fleet does different work per read than an unreplicated
+	// one — replica sweeps, failover probes, hedged duplicates — so
+	// benchdiff refuses to compare across replication configurations.
+	Replicas    int      `json:"replicas,omitempty"`
+	Hedge       float64  `json:"hedge,omitempty"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	TotalWallMS float64  `json:"total_wall_ms"`
 	Experiments []Record `json:"experiments"`

@@ -30,6 +30,8 @@ func TestFileRoundTrip(t *testing.T) {
 		Classes:       "uniform",
 		PatienceMS:    92.5,
 		Shards:        8,
+		Replicas:      2,
+		Hedge:         1.5,
 		GOMAXPROCS:    8,
 		TotalWallMS:   1234.5,
 		Experiments: []Record{
@@ -63,6 +65,7 @@ func TestFileOmitsDefaultConfig(t *testing.T) {
 	for _, key := range []string{"sessions", "session_policy", "layout",
 		"faults", "fault_seed", "slo_ms", "backend", "checksum",
 		"arrivals", "arrival_rate", "classes", "patience_ms", "shards",
+		"replicas", "hedge",
 		"p999_ms", "seeks", "sequential_wall_ms", "speedup"} {
 		if strings.Contains(string(raw), `"`+key+`"`) {
 			t.Errorf("default file leaks %q: %s", key, raw)
@@ -83,7 +86,7 @@ func TestFileReadsSeedEraBaseline(t *testing.T) {
 	if f.Faults != "" || f.FaultSeed != 0 || f.SLOMS != 0 || f.Layout != "" || f.Sessions != 0 ||
 		f.Backend != "" || f.Checksum != "" ||
 		f.Arrivals != "" || f.ArrivalRate != 0 || f.Classes != "" || f.PatienceMS != 0 ||
-		f.Shards != 0 {
+		f.Shards != 0 || f.Replicas != 0 || f.Hedge != 0 {
 		t.Errorf("seed-era baseline grew configuration: %+v", f)
 	}
 	if len(f.Experiments) != 1 || f.Experiments[0].WallMS != 42.25 {

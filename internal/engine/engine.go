@@ -69,6 +69,19 @@ type Config struct {
 	// the prefetcher left unused, so the scrub never starves demand reads
 	// or planned prefetch. Zero disables scrubbing. Requires Backing.
 	ScrubPages int
+	// Replicas is the sharded engine's chained range-replication degree
+	// (DESIGN.md §13): each Hilbert range is also readable from the next
+	// Replicas-1 shards, at CostModel.ReplicaRead per replica-served page.
+	// 0 or 1 disables replication; degrees above the shard count clamp to
+	// it. Ignored by the unsharded engine.
+	Replicas int
+	// Hedge is the sharded engine's hedged-prefetch threshold: when the
+	// slowest shard's estimated prefetch sweep exceeds Hedge times the
+	// median shard estimate, that sub-batch is also issued to its next
+	// live replica and the cheaper outcome wins (both disks bill the
+	// work — hedging buys tail latency with duplicate I/O). 0 disables
+	// hedging; it needs Replicas >= 2 to have an alternate to hedge to.
+	Hedge float64
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -99,6 +112,13 @@ type QueryTrace struct {
 	// Zero on the unsharded path.
 	Fanout      int
 	RoutedPages int
+	// FailedOverPages and LostPages are filled by the sharded engine's HA
+	// path only: demand miss pages served by a replica instead of their
+	// home shard, and demand pages unserved because every member of their
+	// range's replica chain was down (the client waited out its read
+	// deadline and was answered without them).
+	FailedOverPages int
+	LostPages       int
 }
 
 // SequenceResult aggregates one sequence's execution.
@@ -117,6 +137,16 @@ type SequenceResult struct {
 	// DeltaBuilds counts the counted queries whose graph was advanced
 	// incrementally rather than rebuilt.
 	DeltaBuilds int64
+	// ResultHash fingerprints the served result sets: an FNV-1a fold over
+	// every query's object IDs, in query order, including skipped queries.
+	// Two runs served byte-identical results iff their hashes match — the
+	// ha1 replication-identity acceptance keys on it. Filled by the
+	// sharded engine only; zero on the unsharded path.
+	ResultHash uint64
+	// LostPages totals QueryTrace.LostPages over all queries (HA path
+	// only): demand pages dropped from result sets because their whole
+	// replica chain was down.
+	LostPages int64
 }
 
 // HitRate returns the sequence's cache hit rate.

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"time"
+
+	"scout/internal/fault"
+	"scout/internal/pagestore"
+)
+
+// This file is the shard fault-tolerance layer (DESIGN.md §13): a per-shard
+// health ledger reusing the PR 6 breaker shape, chain-walking failover
+// routing over the replicated partition, and the hedged-prefetch pick. It
+// is shared by the single-session ShardedEngine and the multi-session
+// serveShardSet, so the two failover paths can never drift apart. All
+// decisions are pure functions of (fault plan, virtual time, health state
+// driven by the same), which keeps every HA run byte-identical for any
+// worker count.
+
+// HAStats is the fleet-wide high-availability ledger one sharded run
+// accumulates. All zero when replication, hedging and shard faults are off.
+type HAStats struct {
+	// FailedOverBatches/Pages count demand sub-batches (and their pages)
+	// served by a replica shard instead of their sick home.
+	FailedOverBatches int64
+	FailedOverPages   int64
+	// OutageProbes counts failed attempts against outaged shards during
+	// chain walks; ProbeDelay is the fast-fail time they charged (one Seek
+	// each — the router abandons a dead primary at the first error when a
+	// replica exists).
+	OutageProbes int64
+	ProbeDelay   time.Duration
+	// LostBatches/Pages count demand sub-batches whose whole replica chain
+	// was down — the pages went unserved; LostDelay is the client deadline
+	// (RetryPolicy.Timeout) each lost sub-batch waited out.
+	LostBatches int64
+	LostPages   int64
+	LostDelay   time.Duration
+	// BrownedBatches counts sub-batches served at a brownout multiplier;
+	// BrownoutDelay the extra time the multiplier billed.
+	BrownedBatches int64
+	BrownoutDelay  time.Duration
+	// HedgedWindows counts prefetch sub-batches issued to both the routed
+	// shard and its replica; HedgeWins the subset where the replica's
+	// outcome was cheaper and won.
+	HedgedWindows int64
+	HedgeWins     int64
+	// FailoverTrips counts shard health-ledger trips.
+	FailoverTrips int64
+}
+
+// Add folds another HA ledger into this one.
+func (s *HAStats) Add(o HAStats) {
+	s.FailedOverBatches += o.FailedOverBatches
+	s.FailedOverPages += o.FailedOverPages
+	s.OutageProbes += o.OutageProbes
+	s.ProbeDelay += o.ProbeDelay
+	s.LostBatches += o.LostBatches
+	s.LostPages += o.LostPages
+	s.LostDelay += o.LostDelay
+	s.BrownedBatches += o.BrownedBatches
+	s.BrownoutDelay += o.BrownoutDelay
+	s.HedgedWindows += o.HedgedWindows
+	s.HedgeWins += o.HedgeWins
+	s.FailoverTrips += o.FailoverTrips
+}
+
+// failoverBreakerConfig tunes the per-shard health ledger. It reuses the
+// breaker struct but trips faster and cools quicker than the per-session
+// prefetch breaker: one outage discovery (weight 3, alpha 0.5) reaches the
+// 1.5 trip score immediately — an outage is unambiguous evidence, and every
+// query routed at a dead primary pays a probe until the ledger trips.
+func failoverBreakerConfig() BreakerConfig {
+	return BreakerConfig{Enabled: true, Alpha: 0.5, TripScore: 1.5, Cooldown: 100 * time.Millisecond}
+}
+
+// haRoute is the coordinator's routing decision for one home shard's
+// storage read.
+type haRoute struct {
+	// target is the serving shard, or -1 when every chain member was down
+	// (the sub-batch is lost).
+	target int
+	// k is target's position in the replica chain (0 = the home itself).
+	k int
+	// factor is the serving shard's brownout multiplier (1 = none).
+	factor float64
+	// pre is the discovery charge paid before the serving read: one Seek
+	// per fast-fail probe of an outaged chain member, plus the client's
+	// read deadline when the chain exhausted.
+	pre time.Duration
+	// hedge is the hedged-prefetch alternate shard (-1 = none) and
+	// hedgeFactor its brownout multiplier. Demand routing never hedges.
+	hedge       int
+	hedgeFactor float64
+}
+
+// haState is the failover router's mutable state: the replicated partition,
+// the (possibly nil) shard-fault injector, one health breaker per shard,
+// and per-fan-out scratch. Single-coordinator, like everything merged on
+// the virtual clock.
+type haState struct {
+	part  *pagestore.Partition
+	inj   *fault.Injector
+	cost  pagestore.CostModel
+	retry pagestore.RetryPolicy
+	hedge float64 // hedged-prefetch threshold; 0 = off
+
+	health   []breaker
+	routes   []haRoute
+	evidence []float64
+	stats    HAStats
+}
+
+// newHAState builds the failover router for a shard fleet. inj may be nil
+// (pure replication, no shard faults); hedge 0 disables hedged prefetch.
+func newHAState(part *pagestore.Partition, inj *fault.Injector, cost pagestore.CostModel, retry pagestore.RetryPolicy, hedge float64) *haState {
+	n := part.Shards()
+	h := &haState{
+		part:     part,
+		inj:      inj,
+		cost:     cost,
+		retry:    retry.WithDefaults(),
+		hedge:    hedge,
+		health:   make([]breaker, n),
+		routes:   make([]haRoute, n),
+		evidence: make([]float64, n),
+	}
+	cfg := failoverBreakerConfig()
+	for i := range h.health {
+		h.health[i].cfg = cfg
+	}
+	return h
+}
+
+// routeDemand picks the serving shard for home j's demand misses at
+// virtual time now, walking the replica chain j, (j+1)%S, ... and charging
+// discovery honestly:
+//
+//   - pass 1 walks the members the health ledger likes: a tripped member
+//     still cooling down is skipped for free — that is the ledger's whole
+//     value (once its cooldown elapses it is attempted again, as the
+//     half-open probe); an attempted member that is outaged charges one
+//     Seek of fast-fail (the router abandons a dead shard at the first
+//     error and re-issues) and 3 points of health evidence; the first
+//     live member serves, at its brownout multiplier, which also feeds
+//     the ledger (factor-1 points — a 4x brownout is as alarming as a
+//     timed-out read);
+//   - pass 2 runs only when pass 1 found nothing: the ledger's advice is
+//     advice, not truth, and a client read must not fail on a stale trip
+//     — so the skipped members are attempted after all, same charging. A
+//     merely sick (tripped, browned) shard therefore NEVER loses data;
+//   - only a chain whose every member is genuinely outaged loses the
+//     sub-batch, and the requesting client waits out its read deadline
+//     (RetryPolicy.Timeout — the fast-fail probes happened inside that
+//     deadline, so it replaces them rather than stacking on top). Under
+//     the single-victim outage model this cannot happen for R >= 2.
+func (h *haState) routeDemand(j int, now time.Duration) haRoute {
+	r := haRoute{target: -1, k: -1, factor: 1, hedge: -1, hedgeFactor: 1}
+	shards := h.part.Shards()
+	attempt := func(k int) bool {
+		c := h.part.ReplicaShard(j, k)
+		if h.inj.ShardOutage(c, shards, now) {
+			h.evidence[c] += 3
+			h.stats.OutageProbes++
+			h.stats.ProbeDelay += h.cost.Seek
+			r.pre += h.cost.Seek
+			return false
+		}
+		r.target, r.k = c, k
+		r.factor = h.inj.ShardBrownout(c, now)
+		if r.factor > 1 {
+			h.evidence[c] += r.factor - 1
+		}
+		return true
+	}
+	var probed uint64
+	for k := 0; k < h.part.Replicas(); k++ {
+		if !h.health[h.part.ReplicaShard(j, k)].allowPrefetch(now) {
+			continue
+		}
+		probed |= 1 << uint(k)
+		if attempt(k) {
+			return r
+		}
+	}
+	for k := 0; k < h.part.Replicas(); k++ {
+		if probed&(1<<uint(k)) != 0 {
+			continue
+		}
+		if attempt(k) {
+			return r
+		}
+	}
+	r.pre = h.retry.Timeout
+	return r
+}
+
+// routeQuiet mirrors routeDemand for background work: no probe charges, no
+// health evidence, no half-open arming — the prefetch fan-out reuses the
+// demand turn's discoveries at the same virtual time, and a dead chain is
+// simply skipped (background reads have no waiting client).
+func (h *haState) routeQuiet(j int, now time.Duration) haRoute {
+	r := haRoute{target: -1, k: -1, factor: 1, hedge: -1, hedgeFactor: 1}
+	shards := h.part.Shards()
+	for k := 0; k < h.part.Replicas(); k++ {
+		c := h.part.ReplicaShard(j, k)
+		if !h.health[c].allows(now) || h.inj.ShardOutage(c, shards, now) {
+			continue
+		}
+		r.target, r.k = c, k
+		r.factor = h.inj.ShardBrownout(c, now)
+		return r
+	}
+	return r
+}
+
+// hedgePick returns the next live chain member after position afterK in
+// home j's chain (and its brownout factor), or -1 — the alternate a hedged
+// prefetch re-issues to.
+func (h *haState) hedgePick(j, afterK int, now time.Duration) (int, float64) {
+	shards := h.part.Shards()
+	for k := afterK + 1; k < h.part.Replicas(); k++ {
+		c := h.part.ReplicaShard(j, k)
+		if !h.health[c].allows(now) || h.inj.ShardOutage(c, shards, now) {
+			continue
+		}
+		return c, h.inj.ShardBrownout(c, now)
+	}
+	return -1, 1
+}
+
+// observe ticks every shard's health ledger with the evidence the current
+// turn accumulated (outage probes, brownout service, injected read
+// retries), then clears it. Shards with zero evidence decay; a clean
+// half-open probe closes its ledger and home routing resumes.
+func (h *haState) observe(now time.Duration) {
+	for i := range h.health {
+		before := h.health[i].trips
+		h.health[i].observe(now, h.evidence[i])
+		h.stats.FailoverTrips += h.health[i].trips - before
+		h.evidence[i] = 0
+	}
+}
+
+// sweepEstimate prices a physically sorted batch as a cold elevator sweep —
+// the pure pre-fan-out cost estimate hedging thresholds on. It deliberately
+// ignores the serving disk's current head (unknowable without racing the
+// fan-out); hedging is a threshold heuristic, not an exact prediction.
+func (h *haState) sweepEstimate(store *pagestore.Store, sorted []pagestore.PageID) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	seeks, bridged, _ := h.cost.SweepCost(store, sorted, pagestore.InvalidPage)
+	return time.Duration(seeks)*h.cost.Seek +
+		time.Duration(int64(len(sorted))+bridged)*h.cost.Transfer
+}
+
+// allows reports allowPrefetch's decision without arming the half-open
+// probe — a read-only peek for the failover router's background paths
+// (hedge picks, prefetch routing), which must not consume the probe that
+// demand routing owns.
+func (b *breaker) allows(now time.Duration) bool {
+	if !b.cfg.Enabled || !b.open {
+		return true
+	}
+	return b.probing || now >= b.openedAt+b.cfg.Cooldown
+}

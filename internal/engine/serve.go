@@ -123,6 +123,19 @@ type ServeConfig struct {
 	// path byte-identically; Shards == 1 runs the sharded machinery and is
 	// bit-exact with the unsharded BatchedIO serve.
 	Shards int
+	// Replicas is the sharded backend's chained range-replication degree
+	// (DESIGN.md §13): with R > 1 each shard's range is also readable from
+	// the next R-1 shards and demand misses fail over along the chain when
+	// their home is outaged or its health ledger has tripped, at
+	// CostModel.ReplicaRead per replica-served page. 0 or 1 keeps the
+	// replication-free commit path byte-identically. Requires Shards > 0.
+	Replicas int
+	// Hedge is reserved for parity with engine.Config.Hedge; the serve
+	// path's background prefetch does not hedge (demand failover is what
+	// protects waiting clients — duplicating background windows under
+	// multi-session contention only burns shared device time), so the
+	// field only stamps benchmark metadata.
+	Hedge float64
 }
 
 // classSpec resolves a session's class (normalized weight), reporting
@@ -276,6 +289,10 @@ type ServeResult struct {
 	ShardDisks  []pagestore.DiskStats
 	RoutedPages int64
 	RouteCharge time.Duration
+	// HA is the sharded backend's high-availability ledger (failovers,
+	// probes, lost sub-batches, brownout surcharges); zero unless
+	// replication or shard faults were configured.
+	HA HAStats
 }
 
 // CountedQueries returns the number of counted queries served (the pooled
@@ -462,6 +479,18 @@ func newSharedDisk(store *pagestore.Store, model pagestore.CostModel, interferen
 }
 
 func (d *sharedDisk) resetHead(session int) { d.heads[session] = pagestore.InvalidPage }
+
+// chargeHA mirrors Disk.ChargeHA for the shared disk: bill a brownout's
+// extra service time into the fault ledger and the per-page replica-slice
+// surcharge for pages this shard served on behalf of another home, and
+// return the surcharge.
+func (d *sharedDisk) chargeHA(faultDelay time.Duration, replicaPages int64) time.Duration {
+	rep := time.Duration(replicaPages) * d.model.ReplicaRead
+	d.stats.SimulatedIO += faultDelay + rep
+	d.stats.FaultDelay += faultDelay
+	d.stats.ReplicaPages += replicaPages
+	return rep
+}
 
 // setFaults arms the shared disk (zero-value policy = DefaultRetryPolicy);
 // nil disarms.

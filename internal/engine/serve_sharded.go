@@ -71,6 +71,14 @@ type serveShardSet struct {
 	demand []serveDemandOut
 	pref   []servePrefetchOut
 	home   int
+
+	// ha, non-nil when ServeConfig.Replicas > 1 or shard faults are
+	// planned, carries the replicated partition, the per-shard health
+	// ledgers and the failover routes for the current turn (DESIGN.md
+	// §13). Nil keeps demandTurn on the single-fan-out replication-free
+	// path byte-identically.
+	ha        *haState
+	haRetries []int64
 }
 
 // newServeShardSet builds the shard fleet for one Serve call: the cache
@@ -101,14 +109,32 @@ func newServeShardSet(store *pagestore.Store, cfg ServeConfig, sessions, capacit
 		}
 		state[i] = sh
 	}
-	return &serveShardSet{
-		router: NewRouter(store, pagestore.NewPartition(store, shards), cfg.Engine.Cost),
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > shards {
+		replicas = shards
+	}
+	part := pagestore.NewReplicatedPartition(store, shards, replicas)
+	sv := &serveShardSet{
+		router: NewRouter(store, part, cfg.Engine.Cost),
 		set:    NewShardSet(state),
 		inj:    inj,
 		counts: make([]int, shards),
 		demand: make([]serveDemandOut, shards),
 		pref:   make([]servePrefetchOut, shards),
 	}
+	shardFaults := inj != nil && inj.Plan().ShardFaultsEnabled()
+	if replicas > 1 || shardFaults {
+		var haInj *fault.Injector
+		if shardFaults {
+			haInj = inj
+		}
+		sv.ha = newHAState(part, haInj, cfg.Engine.Cost, cfg.Retry, 0)
+		sv.haRetries = make([]int64, shards)
+	}
+	return sv
 }
 
 // setPriority forwards a class weight to every shard's arbiter.
@@ -137,6 +163,63 @@ func (sv *serveShardSet) demandTurn(s int, pages []pagestore.PageID, contenders 
 	sv.parts = sv.router.Split(pages, sv.parts)
 	sv.home = sv.router.Home(sv.parts)
 	parts, outs, prefs, inj := sv.parts, sv.demand, sv.pref, sv.inj
+	if sv.ha == nil {
+		sv.set.Do(func(i int, sh *serveShard) {
+			o := &outs[i]
+			*o = serveDemandOut{}
+			prefs[i] = servePrefetchOut{}
+			sh.disk.resetHead(s)
+			part := parts[i]
+			o.pages = len(part)
+			sh.miss = sh.miss[:0]
+			for _, pg := range part {
+				if inj != nil {
+					if d := inj.ShardStall(sh.cache.ShardIndex(pg), now); d > 0 {
+						o.stall += d
+						o.stalls++
+					}
+				}
+				if sh.cache.Lookup(pg) {
+					o.hits++
+				} else {
+					sh.miss = append(sh.miss, pg)
+				}
+			}
+			o.miss = len(sh.miss)
+			o.io = sh.disk.readBatch(s, sh.miss, contenders, now) + o.stall
+		})
+	} else {
+		sv.demandTurnHA(s, contenders, now)
+	}
+	m := demandMerge{fanout: sv.router.Fanout(parts)}
+	for i := range outs {
+		if outs[i].io > m.residual {
+			m.residual = outs[i].io
+		}
+		m.hits += outs[i].hits
+		m.stall += outs[i].stall
+		m.stallEvents += outs[i].stalls
+		sv.counts[i] = outs[i].miss
+	}
+	m.routed, m.charge = sv.router.Charge(sv.counts, sv.home)
+	m.residual += m.charge
+	return m
+}
+
+// demandTurnHA is demandTurn's fault-tolerant body (DESIGN.md §13), the
+// serve-path twin of ShardedEngine.demandHA: fan-out A prices stalls and
+// runs the cache lookups, the coordinator chain-walks every missing home's
+// replica at the turn's commit time, and fan-out B sweeps each miss
+// sub-batch on its serving shard — browned sweeps billed at their
+// multiplier, replica-slice pages surcharged per page. A home whose whole
+// chain is down contributes its discovery charge plus the client read
+// deadline as its service time (the session is answered degraded; the
+// pages are counted lost in the HA ledger). Health evidence — outage
+// probes, brownout service, injected read retries — folds into the
+// per-shard ledgers at the end of the turn, so a shard that stays sick
+// trips once and is then skipped for free until its cooldown probe.
+func (sv *serveShardSet) demandTurnHA(s, contenders int, now time.Duration) {
+	parts, outs, prefs, inj, ha := sv.parts, sv.demand, sv.pref, sv.inj, sv.ha
 	sv.set.Do(func(i int, sh *serveShard) {
 		o := &outs[i]
 		*o = serveDemandOut{}
@@ -159,21 +242,74 @@ func (sv *serveShardSet) demandTurn(s int, pages []pagestore.PageID, contenders 
 			}
 		}
 		o.miss = len(sh.miss)
-		o.io = sh.disk.readBatch(s, sh.miss, contenders, now) + o.stall
 	})
-	m := demandMerge{fanout: sv.router.Fanout(parts)}
-	for i := range outs {
-		if outs[i].io > m.residual {
-			m.residual = outs[i].io
+
+	for j := 0; j < sv.set.Shards(); j++ {
+		r := haRoute{target: j, factor: 1, hedge: -1, hedgeFactor: 1}
+		if len(parts[j]) > 0 && len(sv.set.State(j).miss) > 0 {
+			r = ha.routeDemand(j, now)
 		}
-		m.hits += outs[i].hits
-		m.stall += outs[i].stall
-		m.stallEvents += outs[i].stalls
-		sv.counts[i] = outs[i].miss
+		ha.routes[j] = r
 	}
-	m.routed, m.charge = sv.router.Charge(sv.counts, sv.home)
-	m.residual += m.charge
-	return m
+
+	sv.set.Do(func(t int, sh *serveShard) {
+		for j := 0; j < sv.set.Shards(); j++ {
+			r := &ha.routes[j]
+			if r.target != t || len(parts[j]) == 0 {
+				continue
+			}
+			miss := sv.set.State(j).miss
+			base := sh.disk.readBatch(s, miss, contenders, now)
+			var extra time.Duration
+			if r.factor > 1 {
+				extra = time.Duration(float64(base) * (r.factor - 1))
+			}
+			var repPages int64
+			if t != j {
+				repPages = int64(len(miss))
+			}
+			rep := sh.disk.chargeHA(extra, repPages)
+			outs[j].io = r.pre + base + extra + rep + outs[j].stall
+		}
+	})
+
+	for j := 0; j < sv.set.Shards(); j++ {
+		r := &ha.routes[j]
+		if len(parts[j]) == 0 {
+			continue
+		}
+		miss := sv.set.State(j).miss
+		if len(miss) == 0 {
+			outs[j].io = outs[j].stall
+			continue
+		}
+		switch {
+		case r.target < 0:
+			ha.stats.LostBatches++
+			ha.stats.LostPages += int64(len(miss))
+			ha.stats.LostDelay += ha.retry.Timeout
+			outs[j].miss = 0
+			outs[j].io = r.pre + outs[j].stall
+		case r.target != j:
+			ha.stats.FailedOverBatches++
+			ha.stats.FailedOverPages += int64(len(miss))
+		}
+		if r.target >= 0 && r.factor > 1 {
+			ha.stats.BrownedBatches++
+			x := outs[j].io - r.pre - outs[j].stall
+			if r.target != j {
+				x -= time.Duration(len(miss)) * ha.cost.ReplicaRead
+			}
+			ha.stats.BrownoutDelay += x - time.Duration(float64(x)/r.factor)
+		}
+	}
+
+	for i := 0; i < sv.set.Shards(); i++ {
+		retries := sv.set.State(i).disk.stats.FaultRetries
+		ha.evidence[i] += float64(retries - sv.haRetries[i])
+		sv.haRetries[i] = retries
+	}
+	ha.observe(now)
 }
 
 // prefetchTurn runs one granted prefetch window: the step's prediction set
@@ -194,6 +330,7 @@ func (sv *serveShardSet) prefetchTurn(s int, st step, budget time.Duration, cont
 	sv.pparts = sv.router.Split(buf, sv.pparts)
 	parts, outs := sv.pparts, sv.pref
 	nc := len(contenders)
+	ha := sv.ha
 	sv.set.Do(func(i int, sh *serveShard) {
 		o := &outs[i]
 		grant := sh.arb.Grant(s, contenders, budget)
@@ -201,12 +338,30 @@ func (sv *serveShardSet) prefetchTurn(s int, st step, budget time.Duration, cont
 		if grant <= 0 {
 			return
 		}
+		factor := 1.0
+		if ha != nil {
+			// Background reads have no failover on the serve path (demand
+			// failover is what protects waiting clients): an outaged home
+			// simply skips its window, a browned one sweeps at its
+			// multiplier and delivers fewer pages per grant. ShardOutage/
+			// ShardBrownout are pure, so this is safe on the workers.
+			if ha.inj.ShardOutage(i, sv.set.Shards(), now) {
+				return
+			}
+			factor = ha.inj.ShardBrownout(i, now)
+		}
 		sh.batch = append(sh.batch[:0], parts[i]...)
 		sh.batch = assembleBatch(sh.disk.store, sh.cache, sh.batch)
 		var spent time.Duration
 		n := 0
 		sh.disk.store.Runs(sh.batch, sh.disk.model.MaxBridge(), func(run []pagestore.PageID) bool {
-			spent += sh.disk.readSweep(s, run, nc, now)
+			base := sh.disk.readSweep(s, run, nc, now)
+			if factor > 1 {
+				extra := time.Duration(float64(base) * (factor - 1))
+				sh.disk.chargeHA(extra, 0)
+				base += extra
+			}
+			spent += base
 			for _, pg := range run {
 				sh.cache.Insert(pg)
 				n++
@@ -286,6 +441,9 @@ func (sv *serveShardSet) ledger(session int) SessionLedger {
 // result (per-shard disk stats kept in shard order for the experiments)
 // and stops the workers.
 func (sv *serveShardSet) finish(res *ServeResult) {
+	if sv.ha != nil {
+		res.HA = sv.ha.stats
+	}
 	res.ShardDisks = make([]pagestore.DiskStats, sv.set.Shards())
 	for i := 0; i < sv.set.Shards(); i++ {
 		d := sv.set.State(i).disk

@@ -140,6 +140,37 @@ func TestServeShardedCrossWorkerByteIdentity(t *testing.T) {
 	}
 }
 
+// TestServeShardedReplicationInert: with every chain healthy, serve-path
+// replication must be invisible — a Replicas=2 serve (which runs the full
+// HA demand fan-out: route, failover ledger, chain walk) is byte-identical
+// to the Replicas=0 plain serve, ledgers included. Replication may only
+// cost something when a fault makes it earn something.
+func TestServeShardedReplicationInert(t *testing.T) {
+	store, tree := lineWorld(t, 4000)
+	cfg := ServeConfig{
+		Engine:           DefaultConfig(),
+		Policy:           FairShare,
+		InterferenceSeek: time.Millisecond,
+		Shards:           4,
+		Workers:          4,
+	}
+	cfg.Engine.BatchedIO = true
+	want := Serve(store, tree, shardServeWorkloads(8), cfg)
+	if want.RoutedPages == 0 {
+		t.Fatal("workload never routed a page; test is vacuous")
+	}
+
+	repl := cfg
+	repl.Replicas = 2
+	got := Serve(store, tree, shardServeWorkloads(8), repl)
+	if got.HA != (HAStats{}) {
+		t.Fatalf("healthy replicated serve touched the HA ledger: %+v", got.HA)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("healthy Replicas=2 serve differs from unreplicated serve")
+	}
+}
+
 // TestServeShardedRejectsPrivateCaches: per-session private caches cannot
 // split across shard workers; the config is a programming error and must
 // fail loudly, not quietly misaccount.

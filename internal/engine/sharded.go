@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"scout/internal/cache"
+	"scout/internal/fault"
 	"scout/internal/pagestore"
 	"scout/internal/prefetch"
 	"scout/internal/workload"
@@ -64,6 +66,16 @@ type ShardedEngine struct {
 	counts   []int
 	batchBuf []pagestore.PageID
 	reqBuf   []pagestore.PageID
+
+	// High-availability state (DESIGN.md §13), nil unless replication,
+	// hedging or shard faults are configured — the nil check is what keeps
+	// every replication-free run on the exact PR-era fan-out code path and
+	// therefore byte-identical to its pinned goldens.
+	ha        *haState
+	vclock    time.Duration // virtual serving clock: sum of Residual+Window over all queries run
+	haRetries []int64       // per-shard FaultRetries watermark for health evidence
+	prefHedge []prefetchOut // hedge result slots for the prefetch fan-out
+	estBuf    []time.Duration
 }
 
 // NewShardedEngine builds an S-shard engine over the store's current
@@ -80,7 +92,14 @@ func NewShardedEngine(store *pagestore.Store, index Index, cfg Config, shards in
 	if shards < 1 {
 		shards = 1
 	}
-	part := pagestore.NewPartition(store, shards)
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > shards {
+		replicas = shards
+	}
+	part := pagestore.NewReplicatedPartition(store, shards, replicas)
 	capacity := cacheCapacity(cfg, store)
 	base, extra := capacity/shards, capacity%shards
 	state := make([]*engineShard, shards)
@@ -101,7 +120,7 @@ func NewShardedEngine(store *pagestore.Store, index Index, cfg Config, shards in
 		}
 		state[i] = sh
 	}
-	return &ShardedEngine{
+	e := &ShardedEngine{
 		store:    store,
 		index:    index,
 		cfg:      cfg,
@@ -112,6 +131,26 @@ func NewShardedEngine(store *pagestore.Store, index Index, cfg Config, shards in
 		prefetch: make([]prefetchOut, shards),
 		counts:   make([]int, shards),
 	}
+	inj, _ := cfg.Faults.(*fault.Injector)
+	shardFaults := inj != nil && inj.Plan().ShardFaultsEnabled()
+	if replicas > 1 || cfg.Hedge > 0 || shardFaults {
+		if !shardFaults {
+			inj = nil
+		}
+		e.ha = newHAState(part, inj, cfg.Cost, cfg.Retry, cfg.Hedge)
+		e.haRetries = make([]int64, shards)
+		e.prefHedge = make([]prefetchOut, shards)
+	}
+	return e
+}
+
+// HAStats returns the accumulated high-availability ledger (zero value when
+// the engine runs without replication, hedging or shard faults).
+func (e *ShardedEngine) HAStats() HAStats {
+	if e.ha == nil {
+		return HAStats{}
+	}
+	return e.ha.stats
 }
 
 // Shards returns the shard count.
@@ -182,6 +221,7 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 	p.Reset()
 
 	res := SequenceResult{}
+	res.ResultHash = fnvOffset
 	ratio := seq.Params.WindowRatio
 	if ratio <= 0 {
 		ratio = 1
@@ -199,26 +239,31 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 
 		outs := e.demand
 		parts := e.parts
-		e.set.Do(func(i int, sh *engineShard) {
-			o := &outs[i]
-			*o = demandOut{}
-			sh.disk.ResetHead()
-			part := parts[i]
-			if len(part) == 0 {
-				return
-			}
-			o.cold = sh.disk.ColdCost(part)
-			sh.miss = sh.miss[:0]
-			for _, pg := range part {
-				if sh.cache.Lookup(pg) {
-					o.hits++
-				} else {
-					sh.miss = append(sh.miss, pg)
+		served := pageBuf
+		if e.ha == nil {
+			e.set.Do(func(i int, sh *engineShard) {
+				o := &outs[i]
+				*o = demandOut{}
+				sh.disk.ResetHead()
+				part := parts[i]
+				if len(part) == 0 {
+					return
 				}
-			}
-			o.miss = len(sh.miss)
-			o.missCost = sh.disk.ReadBatch(sh.miss)
-		})
+				o.cold = sh.disk.ColdCost(part)
+				sh.miss = sh.miss[:0]
+				for _, pg := range part {
+					if sh.cache.Lookup(pg) {
+						o.hits++
+					} else {
+						sh.miss = append(sh.miss, pg)
+					}
+				}
+				o.miss = len(sh.miss)
+				o.missCost = sh.disk.ReadBatch(sh.miss)
+			})
+		} else {
+			served = e.demandHA(parts, pageBuf, &tr)
+		}
 
 		var coldMax, missMax time.Duration
 		for i := range outs {
@@ -240,13 +285,14 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 		tr.Residual = missMax + missCharge
 		tr.RoutedPages = remoteMiss
 
-		result := queryObjects(e.store, q.Region, pageBuf)
+		result := queryObjects(e.store, q.Region, served)
+		res.ResultHash = hashResult(res.ResultHash, qi, result)
 		p.Observe(prefetch.Observation{
 			Seq:    qi,
 			Region: q.Region,
 			Center: q.Center,
 			Result: result,
-			Pages:  append([]pagestore.PageID(nil), pageBuf...),
+			Pages:  append([]pagestore.PageID(nil), served...),
 		})
 		plan := p.Plan()
 		tr.GraphBuild = plan.GraphBuild
@@ -259,7 +305,13 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 			budget -= plan.Prediction
 		}
 		if qi < len(seq.Queries)-1 && budget > 0 {
-			prefetched, ioTime := e.executePlanSharded(plan, budget)
+			var prefetched int
+			var ioTime time.Duration
+			if e.ha == nil {
+				prefetched, ioTime = e.executePlanSharded(plan, budget)
+			} else {
+				prefetched, ioTime = e.executePlanShardedHA(plan, budget)
+			}
 			tr.Prefetched = prefetched
 			tr.PrefetchIO = ioTime
 		}
@@ -278,6 +330,21 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 			}
 		}
 
+		if e.ha != nil {
+			// Fold this query's injected read retries into shard health
+			// evidence, tick every ledger, and advance the virtual serving
+			// clock by the query's end-to-end span. The clock persists
+			// across sequences: fault episodes are functions of total time
+			// served, not of per-sequence offsets.
+			for i := 0; i < e.shards; i++ {
+				retries := e.set.State(i).disk.Stats().FaultRetries
+				e.ha.evidence[i] += float64(retries - e.haRetries[i])
+				e.haRetries[i] = retries
+			}
+			e.ha.observe(e.vclock)
+			e.vclock += tr.Residual + tr.Window
+		}
+
 		counted := !(e.cfg.SkipFirstQuery && qi == 0)
 		if counted {
 			res.HitPages += int64(tr.HitPages)
@@ -290,6 +357,7 @@ func (e *ShardedEngine) RunSequence(seq workload.Sequence, p prefetch.Prefetcher
 				res.DeltaBuilds++
 			}
 		}
+		res.LostPages += int64(tr.LostPages)
 		res.Queries = append(res.Queries, tr)
 	}
 	return res
@@ -344,4 +412,341 @@ func (e *ShardedEngine) executePlanSharded(plan prefetch.Plan, budget time.Durat
 		}
 	}
 	return total, spentMax
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants behind SequenceResult.ResultHash.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashResult folds one query's served object IDs into the sequence result
+// hash: query index first (so an empty result still advances the fold),
+// then every ID in served order.
+func hashResult(h uint64, qi int, result []pagestore.ObjectID) uint64 {
+	h = (h ^ uint64(qi)) * fnvPrime
+	for _, id := range result {
+		h = (h ^ uint64(id)) * fnvPrime
+	}
+	return h
+}
+
+// demandHA is the demand read with failover routing (DESIGN.md §13). It
+// splits the plain single fan-out into two so the coordinator can route
+// between them:
+//
+//	A: every home shard prices its cold sweep and runs its cache lookups —
+//	   no storage reads yet, only the miss sub-batches are known after this.
+//	B: the coordinator walks each missing home's replica chain (routeDemand)
+//	   at the current virtual time; the chosen serving shards then sweep the
+//	   sub-batches assigned to them, a browned shard's sweep billed at its
+//	   multiplier and replica-slice reads surcharged per page.
+//
+// With every chain healthy each home serves itself and the two fan-outs
+// issue exactly the per-worker disk call sequence of the plain path, which
+// is the bit-exactness argument for replication without faults. A home
+// whose whole chain is down loses its misses: the pages are dropped from
+// the served result (the caller answers degraded after waiting out the
+// client read deadline), never silently zero-costed.
+func (e *ShardedEngine) demandHA(parts [][]pagestore.PageID, pageBuf []pagestore.PageID, tr *QueryTrace) []pagestore.PageID {
+	ha := e.ha
+	outs := e.demand
+	now := e.vclock
+
+	e.set.Do(func(i int, sh *engineShard) {
+		o := &outs[i]
+		*o = demandOut{}
+		sh.disk.ResetHead()
+		part := parts[i]
+		if len(part) == 0 {
+			return
+		}
+		o.cold = sh.disk.ColdCost(part)
+		sh.miss = sh.miss[:0]
+		for _, pg := range part {
+			if sh.cache.Lookup(pg) {
+				o.hits++
+			} else {
+				sh.miss = append(sh.miss, pg)
+			}
+		}
+	})
+
+	anyLost := false
+	for j := 0; j < e.shards; j++ {
+		r := haRoute{target: j, factor: 1, hedge: -1, hedgeFactor: 1}
+		if len(e.set.State(j).miss) > 0 && len(parts[j]) > 0 {
+			r = ha.routeDemand(j, now)
+		}
+		ha.routes[j] = r
+		if r.target < 0 {
+			anyLost = true
+		}
+	}
+
+	e.set.Do(func(t int, sh *engineShard) {
+		for j := 0; j < e.shards; j++ {
+			r := &ha.routes[j]
+			if r.target != t {
+				continue
+			}
+			if len(parts[j]) == 0 {
+				continue
+			}
+			miss := e.set.State(j).miss
+			base := sh.disk.ReadBatch(miss)
+			var extra time.Duration
+			if r.factor > 1 {
+				extra = time.Duration(float64(base) * (r.factor - 1))
+			}
+			var repPages int64
+			if t != j {
+				repPages = int64(len(miss))
+			}
+			rep := sh.disk.ChargeHA(extra, repPages)
+			outs[j].miss = len(miss)
+			outs[j].missCost = r.pre + base + extra + rep
+		}
+	})
+
+	for j := 0; j < e.shards; j++ {
+		r := &ha.routes[j]
+		miss := e.set.State(j).miss
+		if len(parts[j]) == 0 || len(miss) == 0 {
+			continue
+		}
+		switch {
+		case r.target < 0:
+			ha.stats.LostBatches++
+			ha.stats.LostPages += int64(len(miss))
+			ha.stats.LostDelay += ha.retry.Timeout
+			tr.LostPages += len(miss)
+			outs[j].miss = 0
+			outs[j].missCost = r.pre
+		case r.target != j:
+			ha.stats.FailedOverBatches++
+			ha.stats.FailedOverPages += int64(len(miss))
+			tr.FailedOverPages += len(miss)
+		}
+		if r.target >= 0 && r.factor > 1 {
+			ha.stats.BrownedBatches++
+			// The serving read cost x = base·factor (+replica surcharge,
+			// subtracted off first); the brownout's share is x - x/factor.
+			x := outs[j].missCost - r.pre
+			if r.target != j {
+				x -= time.Duration(len(miss)) * ha.cost.ReplicaRead
+			}
+			ha.stats.BrownoutDelay += x - time.Duration(float64(x)/r.factor)
+		}
+	}
+
+	if !anyLost {
+		return pageBuf
+	}
+	// Rebuild the served set without the lost homes' miss pages, preserving
+	// pageBuf order (result hashing and the prefetcher observation depend
+	// on it).
+	lost := make(map[pagestore.PageID]struct{})
+	for j := 0; j < e.shards; j++ {
+		if ha.routes[j].target < 0 {
+			for _, pg := range e.set.State(j).miss {
+				lost[pg] = struct{}{}
+			}
+		}
+	}
+	kept := pageBuf[:0]
+	for _, pg := range pageBuf {
+		if _, dropped := lost[pg]; !dropped {
+			kept = append(kept, pg)
+		}
+	}
+	return kept
+}
+
+// priceSweep prices one home's assembled prefetch sub-batch on this shard's
+// disk under the window budget: the usual elevator runs, a brownout
+// multiplier on each run's cost, and the per-page replica surcharge when
+// this shard serves the range from its replica slice. It only prices — the
+// delivered-page count n is replayed for cache insertion on the home shard
+// once the (possibly hedged) winner is known. The budget closes on the run
+// that crossed it, exactly like the plain flush.
+func (sh *engineShard) priceSweep(store *pagestore.Store, batch []pagestore.PageID, maxBridge pagestore.PageID, budget time.Duration, factor float64, replica bool) prefetchOut {
+	var spent, brown time.Duration
+	var repPages int64
+	repCost := sh.disk.Model().ReplicaRead
+	n := 0
+	store.Runs(batch, maxBridge, func(run []pagestore.PageID) bool {
+		base := sh.disk.ReadSorted(run)
+		cost := base
+		if factor > 1 {
+			extra := time.Duration(float64(base) * (factor - 1))
+			brown += extra
+			cost += extra
+		}
+		if replica {
+			repPages += int64(len(run))
+			cost += time.Duration(len(run)) * repCost
+		}
+		spent += cost
+		n += len(run)
+		return spent <= budget
+	})
+	sh.disk.ChargeHA(brown, repPages)
+	return prefetchOut{spent: spent, n: n}
+}
+
+// executePlanShardedHA is executePlanSharded with failover routing and
+// hedged reads, split into three fan-outs:
+//
+//	A: each home assembles its sub-batch against its own cache (dedup +
+//	   elevator order), exactly as the plain path does inline.
+//	B: the coordinator routes every sub-batch (routeQuiet — background work
+//	   pays no probes and skips dead chains) and, when hedging is on, marks
+//	   the slowest estimated sub-batch for duplicate issue to its next live
+//	   replica (planHedge); the serving shards then price the sweeps.
+//	C: the coordinator takes the cheaper outcome of each hedged pair, and
+//	   every home replays its winner's delivered run prefix into its own
+//	   cache — insertion must happen on the home (the cache slice is the
+//	   home's), which is why pricing and insertion are separate fan-outs.
+//
+// Healthy chains reduce to home-serves-home with no hedge marks, and the
+// three fan-outs replay the plain path's disk and cache call sequences
+// verbatim.
+func (e *ShardedEngine) executePlanShardedHA(plan prefetch.Plan, budget time.Duration) (int, time.Duration) {
+	buf := e.batchBuf[:0]
+	buf = append(buf, plan.TraversalPages...)
+	for _, r := range plan.Requests {
+		e.reqBuf = e.index.QueryPages(r.Region, e.reqBuf[:0])
+		buf = append(buf, e.reqBuf...)
+	}
+	e.batchBuf = buf
+
+	e.pparts = e.router.Split(buf, e.pparts)
+	parts := e.pparts
+	maxBridge := e.cfg.Cost.MaxBridge()
+	ha := e.ha
+	now := e.vclock
+
+	e.set.Do(func(i int, sh *engineShard) {
+		sh.batch = sh.batch[:0]
+		if len(parts[i]) == 0 {
+			return
+		}
+		sh.batch = append(sh.batch, parts[i]...)
+		sh.batch = assembleBatch(e.store, sh.cache, sh.batch)
+	})
+
+	mains, hedges := e.prefetch, e.prefHedge
+	for j := 0; j < e.shards; j++ {
+		mains[j] = prefetchOut{}
+		hedges[j] = prefetchOut{}
+		r := haRoute{target: j, factor: 1, hedge: -1, hedgeFactor: 1}
+		if len(e.set.State(j).batch) > 0 {
+			r = ha.routeQuiet(j, now)
+		}
+		ha.routes[j] = r
+	}
+	if ha.hedge > 0 && ha.part.Replicas() > 1 {
+		e.planHedge(now)
+	}
+
+	e.set.Do(func(t int, sh *engineShard) {
+		for j := 0; j < e.shards; j++ {
+			r := &ha.routes[j]
+			batch := e.set.State(j).batch
+			if len(batch) == 0 {
+				continue
+			}
+			if r.target == t {
+				mains[j] = sh.priceSweep(e.store, batch, maxBridge, budget, r.factor, t != j)
+			}
+			if r.hedge == t {
+				hedges[j] = sh.priceSweep(e.store, batch, maxBridge, budget, r.hedgeFactor, true)
+			}
+		}
+	})
+
+	for j := 0; j < e.shards; j++ {
+		r := &ha.routes[j]
+		if r.hedge < 0 || len(e.set.State(j).batch) == 0 {
+			continue
+		}
+		ha.stats.HedgedWindows++
+		// The cheaper outcome wins; on a spend tie the primary does (more
+		// pages for the same time never loses, and ties must break
+		// deterministically).
+		if hedges[j].spent < mains[j].spent {
+			ha.stats.HedgeWins++
+			mains[j] = hedges[j]
+		}
+	}
+
+	e.set.Do(func(i int, sh *engineShard) {
+		left := mains[i].n
+		if left == 0 {
+			return
+		}
+		e.store.Runs(sh.batch, maxBridge, func(run []pagestore.PageID) bool {
+			for _, pg := range run {
+				sh.cache.Insert(pg)
+				left--
+			}
+			return left > 0
+		})
+	})
+
+	var spentMax time.Duration
+	total := 0
+	for j := 0; j < e.shards; j++ {
+		total += mains[j].n
+		if mains[j].spent > spentMax {
+			spentMax = mains[j].spent
+		}
+	}
+	return total, spentMax
+}
+
+// planHedge marks the hedged prefetch sub-batch: estimate every routed
+// shard's sweep as a cold elevator pass (haState.sweepEstimate) scaled by
+// its brownout factor and replica surcharge, and when the slowest estimate
+// exceeds Hedge times the median, issue that sub-batch to its next live
+// chain member too. One hedge per window — the point is trimming the
+// straggler that sets PrefetchIO (a max over shards), and duplicating more
+// than the argmax only burns replica bandwidth.
+func (e *ShardedEngine) planHedge(now time.Duration) {
+	ha := e.ha
+	est := e.estBuf[:0]
+	slowJ, slowEst := -1, time.Duration(-1)
+	for j := 0; j < e.shards; j++ {
+		r := &ha.routes[j]
+		batch := e.set.State(j).batch
+		if len(batch) == 0 || r.target < 0 {
+			continue
+		}
+		c := ha.sweepEstimate(e.store, batch)
+		if r.factor > 1 {
+			c = time.Duration(float64(c) * r.factor)
+		}
+		if r.target != j {
+			c += time.Duration(len(batch)) * ha.cost.ReplicaRead
+		}
+		est = append(est, c)
+		if c > slowEst {
+			slowJ, slowEst = j, c
+		}
+	}
+	e.estBuf = est
+	if len(est) < 2 {
+		return
+	}
+	sort.Slice(est, func(a, b int) bool { return est[a] < est[b] })
+	median := est[len(est)/2]
+	if median <= 0 || float64(slowEst) <= ha.hedge*float64(median) {
+		return
+	}
+	hc, hf := ha.hedgePick(slowJ, ha.routes[slowJ].k, now)
+	if hc >= 0 {
+		ha.routes[slowJ].hedge = hc
+		ha.routes[slowJ].hedgeFactor = hf
+	}
 }

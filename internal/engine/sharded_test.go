@@ -44,6 +44,10 @@ func TestShardedSingleShardBitExact(t *testing.T) {
 				}
 				tr.Fanout = 0
 			}
+			if got.ResultHash == 0 {
+				t.Fatalf("layout %s walk %d: sharded run left ResultHash unset", name, wi)
+			}
+			got.ResultHash = 0 // unsharded runs never fill the hash
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("layout %s walk %d: S=1 sharded run differs from unsharded batched run\n got: %+v\nwant: %+v",
 					name, wi, got, want)

@@ -51,14 +51,36 @@ func (ss *ShardSet[T]) State(i int) T { return ss.state[i] }
 // Do mails fn to every shard worker and waits for all of them. The closures
 // run concurrently across shards; fn must confine itself to shard i's state
 // and any result slot dedicated to shard i.
+//
+// A panic inside fn is caught on the worker, the barrier still completes
+// (every other shard finishes its task and the mailbox stays drainable),
+// and the first panic value — by completion order — re-panics on the
+// coordinator. Swallowing it would turn a shard bug into silent data loss;
+// letting it kill the worker goroutine would deadlock every later fan-out.
 func (ss *ShardSet[T]) Do(fn func(i int, st T)) {
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
 	wg.Add(len(ss.mail))
 	for i := range ss.mail {
 		i := i
-		ss.mail[i] <- shardTask{fn: func() { fn(i, ss.state[i]) }, wg: &wg}
+		ss.mail[i] <- shardTask{fn: func() {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(i, ss.state[i])
+		}, wg: &wg}
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Close stops the workers and waits for them to exit. The set must be idle.

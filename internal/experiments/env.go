@@ -130,8 +130,19 @@ type Options struct {
 	// Shards pins the shard1 experiment's shard-count sweep to one count
 	// when positive (scoutbench -shards N; valid counts in ShardCounts).
 	// 0 means the full 1→16 sweep. No other experiment shards its engine,
-	// whatever this is set to.
+	// whatever this is set to. The ha1 experiment sweeps the replicated
+	// counts (2, 4, 8, 16) and honors a positive pin the same way.
 	Shards int
+	// Replicas pins the ha1 experiment's replication-mode sweep to one
+	// degree when positive (scoutbench -replicas R; valid degrees in
+	// ReplicaCounts). 0 means the full {none, repl, repl+hedge} mode
+	// sweep. No other experiment replicates its shards.
+	Replicas int
+	// Hedge overrides ha1's hedged-prefetch threshold (scoutbench -hedge
+	// H; a hedge fires when the slowest shard's estimated sweep exceeds H
+	// times the median). 0 means the default 1.5 for hedged modes; valid
+	// values are >= 1.
+	Hedge float64
 	// Progress, when non-nil, receives one line per completed measurement.
 	Progress func(string)
 }
@@ -164,6 +175,36 @@ func ParseShardCount(n int) (int, error) {
 		}
 	}
 	return 0, fmt.Errorf("experiments: unknown shard count %d (want 0, 1, 2, 4, 8 or 16)", n)
+}
+
+// ReplicaCounts lists the valid -replicas values in sweep order.
+func ReplicaCounts() []int { return []int{1, 2, 3} }
+
+// ParseReplicaCount validates a -replicas value. 0 means the full
+// replication-mode sweep.
+func ParseReplicaCount(n int) (int, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	for _, r := range ReplicaCounts() {
+		if n == r {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown replica count %d (want 0, 1, 2 or 3)", n)
+}
+
+// ParseHedge validates a -hedge threshold. 0 means the default; a hedge
+// below 1 would fire on every window (the max always exceeds the median),
+// which is a configuration error, not a tuning choice.
+func ParseHedge(h float64) (float64, error) {
+	if h == 0 {
+		return 0, nil
+	}
+	if h < 1 {
+		return 0, fmt.Errorf("experiments: hedge threshold %g below 1 would hedge every window (want 0 or >= 1)", h)
+	}
+	return h, nil
 }
 
 // DefaultOptions runs experiments at the documented scale.

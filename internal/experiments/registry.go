@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"dur1", "durability", "Corruption detection/repair and read tail on the file backend (rate × checksum-mode sweep)", Dur1, warmNeuro},
 		{"load1", "load", "Open-loop offered-load sweep: tail latency, goodput and abandonment past the saturation knee, with/without admission+priorities", Load1, warmNeuro},
 		{"shard1", "scale-out", "Sharded-engine scaling sweep: service-time speedup, per-shard seeks and fan-out vs shard count (layout × workload)", Shard1, warmNeuro},
+		{"ha1", "fault tolerance", "Shard fault-tolerance sweep: replication, failover routing and hedged reads under outage/brownout profiles (profile × mode × shard count)", Ha1, warmNeuro},
 		{"ablation_strategy", "§5.2", "Deep vs broad prefetching (ablation)", AblationStrategy, warmNeuro},
 		{"ablation_pruning", "§4.3", "Candidate pruning on/off (ablation)", AblationPruning, warmNeuro},
 		{"ablation_kmeans", "§5.2.2", "k-means location limit (ablation)", AblationKMeans, warmNeuro},

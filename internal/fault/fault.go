@@ -55,6 +55,24 @@ type Plan struct {
 	// Zero period disables starvation.
 	StarvePeriod time.Duration
 	StarveRate   float64
+
+	// Shard-fault domain (DESIGN.md §13): whole-shard episodes the sharded
+	// engine's failover router reacts to, evaluated — like stalls — as pure
+	// functions of (Seed, window, shard).
+	//
+	// OutagePeriod slices virtual time into episode windows; within a
+	// window each SHARD is down with probability OutageRate: every storage
+	// read against it fails for the whole window (node crash, network
+	// partition). Zero period disables outages.
+	OutagePeriod time.Duration
+	OutageRate   float64
+	// BrownoutPeriod/BrownoutRate select browned-out shards the same way;
+	// a browned shard serves reads at BrownoutFactor times their normal
+	// cost for the window (a compacting neighbor, a throttled device, a
+	// saturated NIC). Factor <= 1 disables brownouts.
+	BrownoutPeriod time.Duration
+	BrownoutRate   float64
+	BrownoutFactor float64
 }
 
 // Enabled reports whether the plan can inject anything at all.
@@ -62,7 +80,15 @@ func (p Plan) Enabled() bool {
 	return p.ReadErrorRate > 0 ||
 		(p.SlowPageRate > 0 && p.SlowPagePenalty > 0) ||
 		(p.StallPeriod > 0 && p.StallRate > 0 && p.StallPenalty > 0) ||
-		(p.StarvePeriod > 0 && p.StarveRate > 0)
+		(p.StarvePeriod > 0 && p.StarveRate > 0) ||
+		p.ShardFaultsEnabled()
+}
+
+// ShardFaultsEnabled reports whether the plan can inject whole-shard
+// outages or brownouts — the episodes the failover router routes around.
+func (p Plan) ShardFaultsEnabled() bool {
+	return (p.OutagePeriod > 0 && p.OutageRate > 0) ||
+		(p.BrownoutPeriod > 0 && p.BrownoutRate > 0 && p.BrownoutFactor > 1)
 }
 
 // Injector evaluates a Plan. It is stateless and safe for concurrent use;
@@ -86,6 +112,8 @@ const (
 	domainSlow  uint64 = 0xC2B2_AE3D_27D4_EB4F
 	domainStall uint64 = 0x1656_67B1_9E37_79F9
 	domainStarv uint64 = 0x2545_F491_4F6C_DD1D
+	domainOut   uint64 = 0xD6E8_FEB8_6659_FD93
+	domainBrown uint64 = 0xA076_1D64_78BD_642F
 )
 
 // mix is splitmix64's finalizer over the running hash — cheap, stateless,
@@ -152,6 +180,45 @@ func (in *Injector) ShardStall(shard int, now time.Duration) time.Duration {
 	return 0
 }
 
+// ShardOutage reports whether shard `shard` (of a fleet of `shards`) is
+// down at virtual time now: every storage read against it fails for the
+// whole OutagePeriod window, then the episode re-rolls. An outage episode
+// is fleet-wide with a SINGLE victim — the window first rolls whether an
+// outage happens at all (OutageRate), then hashes a victim shard uniformly
+// — so at most one shard is ever down per window. That single-victim
+// discipline is what turns R >= 2 chained replication into a hard
+// availability guarantee (some chain member is always live) instead of a
+// probabilistic one; the ha1 acceptance physics — replicated result sets
+// byte-identical to fault-free under every outage profile — depends on it.
+// Like ShardStall, the decision is a pure function of (seed, window,
+// shard, shards), so the failover router's discoveries are deterministic
+// for any worker count.
+func (in *Injector) ShardOutage(shard, shards int, now time.Duration) bool {
+	if in == nil || in.plan.OutagePeriod <= 0 || shards <= 0 {
+		return false
+	}
+	window := uint64(now / in.plan.OutagePeriod)
+	if !roll(in.plan.Seed, domainOut, window, 0, 0, in.plan.OutageRate) {
+		return false
+	}
+	victim := mix(mix(uint64(in.plan.Seed)^domainOut)^window) % uint64(shards)
+	return victim == uint64(shard)
+}
+
+// ShardBrownout returns the service-cost multiplier for shard `shard` at
+// virtual time now: BrownoutFactor while the shard is browned out for the
+// current BrownoutPeriod window, 1 otherwise.
+func (in *Injector) ShardBrownout(shard int, now time.Duration) float64 {
+	if in == nil || in.plan.BrownoutPeriod <= 0 || in.plan.BrownoutFactor <= 1 {
+		return 1
+	}
+	window := uint64(now / in.plan.BrownoutPeriod)
+	if roll(in.plan.Seed, domainBrown, window, uint64(shard), 0, in.plan.BrownoutRate) {
+		return in.plan.BrownoutFactor
+	}
+	return 1
+}
+
 // BudgetStarved reports whether the arbiter's prefetch budget is starved
 // to zero at virtual time now. Starvation is per StarvePeriod window and
 // hits every session alike — the contended resource is the disk, not a
@@ -164,8 +231,21 @@ func (in *Injector) BudgetStarved(now time.Duration) bool {
 	return roll(in.plan.Seed, domainStarv, window, 0, 0, in.plan.StarveRate)
 }
 
-// Profiles returns the canned plan names, in scoutbench -faults order.
+// Profiles returns the canned page-level plan names, in scoutbench -faults
+// order. The rob1 experiment sweeps exactly these.
 func Profiles() []string { return []string{"off", "light", "moderate", "heavy"} }
+
+// ShardProfiles returns the canned shard-fault plan names (DESIGN.md §13),
+// in ha1 sweep order. They model whole-shard episodes — brownouts, outages,
+// and a flaky mix that adds page-level read errors on top — and only the
+// sharded failover paths react to them.
+func ShardProfiles() []string {
+	return []string{"shard:brownout", "shard:outage", "shard:flaky"}
+}
+
+// AllProfiles returns every canned plan name ParseProfile accepts, for
+// usage messages.
+func AllProfiles() []string { return append(Profiles(), ShardProfiles()...) }
 
 // ParseProfile resolves a scoutbench -faults value into a Plan keyed by
 // seed. Unknown names — including the empty string; callers that want a
@@ -173,6 +253,23 @@ func Profiles() []string { return []string{"off", "light", "moderate", "heavy"} 
 // fallbacks.
 func ParseProfile(name string, seed int64) (Plan, error) {
 	switch name {
+	case "shard:brownout":
+		return Plan{
+			Seed:           seed,
+			BrownoutPeriod: 20 * time.Millisecond, BrownoutRate: 0.35, BrownoutFactor: 4,
+		}, nil
+	case "shard:outage":
+		return Plan{
+			Seed:         seed,
+			OutagePeriod: 25 * time.Millisecond, OutageRate: 0.25,
+		}, nil
+	case "shard:flaky":
+		return Plan{
+			Seed:          seed,
+			ReadErrorRate: 0.05,
+			OutagePeriod:  30 * time.Millisecond, OutageRate: 0.15,
+			BrownoutPeriod: 20 * time.Millisecond, BrownoutRate: 0.25, BrownoutFactor: 3,
+		}, nil
 	case "off":
 		return Plan{}, nil
 	case "light":
@@ -200,5 +297,5 @@ func ParseProfile(name string, seed int64) (Plan, error) {
 			StarvePeriod: 60 * time.Millisecond, StarveRate: 0.20,
 		}, nil
 	}
-	return Plan{}, fmt.Errorf("fault: unknown fault profile %q (want off, light, moderate or heavy)", name)
+	return Plan{}, fmt.Errorf("fault: unknown fault profile %q (want off, light, moderate, heavy, shard:brownout, shard:outage or shard:flaky)", name)
 }

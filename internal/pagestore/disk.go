@@ -25,6 +25,13 @@ type CostModel struct {
 	// Only the sharded router consults it; single-disk paths never pay it,
 	// and a query landing entirely on its home shard pays none.
 	Route time.Duration
+	// ReplicaRead is the per-page surcharge for serving a page from a
+	// replica slice instead of its home shard's primary range: the replica
+	// copy lives in a different physical region of the serving disk, so the
+	// arm's excursion amortizes to a small per-page penalty. Only the
+	// sharded failover router consults it (DESIGN.md §13); with replication
+	// off (Replicas <= 1) no read ever pays it.
+	ReplicaRead time.Duration
 }
 
 // DefaultCostModel approximates a 2012-era striped SAS array: ~5 ms average
@@ -32,10 +39,11 @@ type CostModel struct {
 // and ~1 µs to copy a cached page out of RAM.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		Seek:     5 * time.Millisecond,
-		Transfer: 40 * time.Microsecond,
-		CacheHit: 1 * time.Microsecond,
-		Route:    5 * time.Microsecond,
+		Seek:        5 * time.Millisecond,
+		Transfer:    40 * time.Microsecond,
+		CacheHit:    1 * time.Microsecond,
+		Route:       5 * time.Microsecond,
+		ReplicaRead: 10 * time.Microsecond,
 	}
 }
 
@@ -58,6 +66,10 @@ type DiskStats struct {
 	FaultRetries  int64
 	TimedOutReads int64
 	FaultDelay    time.Duration
+	// ReplicaPages counts pages this disk served from a replica slice on
+	// behalf of a sick home shard (each surcharged CostModel.ReplicaRead);
+	// zero unless the sharded failover router is active (DESIGN.md §13).
+	ReplicaPages int64
 	// Durable-backend counters (DESIGN.md §10), all zero unless a FileStore
 	// is armed. CorruptPages counts reads whose checksum verification
 	// failed; RepairedPages counts the subset healed in place from the
@@ -89,6 +101,7 @@ func (s *DiskStats) Add(o DiskStats) {
 	satAdd(&s.FaultRetries, o.FaultRetries)
 	satAdd(&s.TimedOutReads, o.TimedOutReads)
 	s.FaultDelay += o.FaultDelay
+	satAdd(&s.ReplicaPages, o.ReplicaPages)
 	satAdd(&s.CorruptPages, o.CorruptPages)
 	satAdd(&s.RepairedPages, o.RepairedPages)
 	s.CorruptDelay += o.CorruptDelay
@@ -584,6 +597,21 @@ func (m CostModel) ColdCostOn(s *Store, pages []PageID) time.Duration {
 // caches between sequences ("we clear the prefetch cache, the operating
 // system cache and the disk buffers", §7.1).
 func (d *Disk) ResetHead() { d.last = InvalidPage }
+
+// ChargeHA folds the sharded failover router's high-availability charges
+// into this disk's ledgers (DESIGN.md §13): faultDelay is extra virtual
+// time the shard-fault universe billed onto reads this disk served
+// (brownout inflation, outage-discovery probes), recorded as fault delay;
+// replicaPages counts pages served here from a replica slice, each
+// surcharged CostModel.ReplicaRead. Returns the replica surcharge so the
+// caller can fold it into the service time it is merging.
+func (d *Disk) ChargeHA(faultDelay time.Duration, replicaPages int64) time.Duration {
+	rep := time.Duration(replicaPages) * d.model.ReplicaRead
+	d.stats.SimulatedIO += faultDelay + rep
+	d.stats.FaultDelay += faultDelay
+	satAdd(&d.stats.ReplicaPages, replicaPages)
+	return rep
+}
 
 // Stats returns the accumulated I/O statistics.
 func (d *Disk) Stats() DiskStats { return d.stats }

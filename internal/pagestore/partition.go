@@ -14,30 +14,80 @@ package pagestore
 // is installed, so relayouting a store reassigns pages to shards without
 // rebuilding the partition.
 type Partition struct {
-	shards int
-	n      int
+	shards   int
+	replicas int
+	n        int
 	// bounds[i] is the first physical slot of shard i; bounds[shards] == n.
 	// Shard i owns physical [bounds[i], bounds[i+1]).
 	bounds []PageID
+	// sources[t] lists the home shards whose ranges shard t holds a
+	// readable copy of, primary first: t itself, then the homes chained
+	// onto it ((t-k+S)%S for k = 1..R-1). Built at construction — the
+	// replica slices are laid out when the shard fleet is, exactly like
+	// Relayout installs a permutation once — so failover routing is pure
+	// arithmetic at serve time.
+	sources [][]int
 }
 
 // NewPartition builds an S-way partition over the store's physical slots.
 // Shard counts below 1 are clamped to 1. When S exceeds the page count the
 // trailing shards own empty ranges and never receive pages.
 func NewPartition(s *Store, shards int) *Partition {
+	return NewReplicatedPartition(s, shards, 1)
+}
+
+// NewReplicatedPartition is NewPartition with K-way chained range
+// replication (DESIGN.md §13): each shard's range is also readable from the
+// next replicas-1 shards in index order (mod S), so shard j's replica chain
+// is j, (j+1)%S, ..., (j+R-1)%S. Replication degrees are clamped to
+// [1, shards]; replicas == 1 is exactly the unreplicated partition.
+func NewReplicatedPartition(s *Store, shards, replicas int) *Partition {
 	if shards < 1 {
 		shards = 1
 	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > shards {
+		replicas = shards
+	}
 	n := s.NumPages()
-	p := &Partition{shards: shards, n: n, bounds: make([]PageID, shards+1)}
+	p := &Partition{shards: shards, replicas: replicas, n: n, bounds: make([]PageID, shards+1)}
 	for i := 0; i <= shards; i++ {
 		p.bounds[i] = PageID(i * n / shards)
+	}
+	p.sources = make([][]int, shards)
+	for t := 0; t < shards; t++ {
+		src := make([]int, replicas)
+		for k := 0; k < replicas; k++ {
+			src[k] = ((t-k)%shards + shards) % shards
+		}
+		p.sources[t] = src
 	}
 	return p
 }
 
 // Shards returns the shard count.
 func (p *Partition) Shards() int { return p.shards }
+
+// Replicas returns the replication degree (1 = unreplicated).
+func (p *Partition) Replicas() int { return p.replicas }
+
+// ReplicaShard returns the k-th member of home's replica chain: home itself
+// for k == 0, then the next shards in index order mod S. k must be below
+// Replicas().
+func (p *Partition) ReplicaShard(home, k int) int { return (home + k) % p.shards }
+
+// ReplicaSources returns the home shards whose ranges shard t can serve,
+// primary first. The returned slice is shared; callers must not mutate it.
+func (p *Partition) ReplicaSources(t int) []int { return p.sources[t] }
+
+// Serves reports whether shard t holds a readable copy of home's range —
+// t is within home's replica chain.
+func (p *Partition) Serves(t, home int) bool {
+	d := ((t-home)%p.shards + p.shards) % p.shards
+	return d < p.replicas
+}
 
 // Bounds returns shard i's half-open physical range [lo, hi).
 func (p *Partition) Bounds(i int) (lo, hi PageID) { return p.bounds[i], p.bounds[i+1] }
